@@ -1,0 +1,29 @@
+# census.tcl — a depth-first walk of the ENTIRE network by one agent.
+#
+# The agent carries its visited set in the SITES folder and its return path
+# in the PATH folder (used as a stack).  At each site it either descends to
+# an unvisited neighbour or backtracks; when it is back at the origin with
+# nothing left to visit, the census is complete.
+#
+# Run with:
+#   dune exec bin/tacoma.exe -- run examples/agents/census.tcl -t grid -n 16
+#
+# Uses the standard prelude: travel, unvisited_neighbors.
+
+if {![folder contains SITES [host]]} {
+  folder put SITES [host]
+}
+
+set unv [unvisited_neighbors]
+if {[llength $unv] > 0} {
+  # descend: remember where to come back to
+  folder push PATH [host]
+  travel [lindex $unv 0]
+} elseif {[folder size PATH] > 0} {
+  # dead end: backtrack one step
+  travel [folder pop PATH]
+} else {
+  log "census complete: visited [folder size SITES] sites"
+  log "sites: [lsort [folder list SITES]]"
+  meet filer
+}

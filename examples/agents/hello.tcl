@@ -1,0 +1,5 @@
+# The smallest possible agent: announce yourself and sign the site's
+# guestbook.  Run with:
+#   dune exec bin/tacoma.exe -- run examples/agents/hello.tcl --trace
+log "hello from [host]; my neighbors are: [neighbors]"
+cabinet put GUESTBOOK "[self] was here at t=[now]"

@@ -1,0 +1,17 @@
+# loadreport.tcl — tour the network and deliver a per-site inventory of the
+# cabinets back to the origin, using the courier pattern from the prelude.
+#
+# Run with:
+#   dune exec bin/tacoma.exe -- run examples/agents/loadreport.tcl -t ring -n 6
+
+if {![folder exists ORIGIN]} { folder set ORIGIN [host] }
+folder put SITES [host]
+carry REPORT "[host]: folders=[llength [cabinet names]] at t=[now]"
+
+set unv [unvisited_neighbors]
+if {[llength $unv] > 0} {
+  travel [lindex $unv 0]
+} else {
+  log "tour done, couriering the report home to [folder peek ORIGIN]"
+  send_folder [folder peek ORIGIN] filer REPORT
+}
