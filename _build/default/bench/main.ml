@@ -1,0 +1,218 @@
+(* Bechamel micro-benchmarks: one per experiment (the operation whose cost
+   drives that experiment's result), plus the kernel primitives.
+
+   Run with: dune exec bench/main.exe *)
+
+open Bechamel
+open Toolkit
+
+module Folder = Tacoma_core.Folder
+module Briefcase = Tacoma_core.Briefcase
+module Cabinet = Tacoma_core.Cabinet
+module Kernel = Tacoma_core.Kernel
+module Net = Netsim.Net
+module Topology = Netsim.Topology
+
+let elements n = List.init n (fun i -> Printf.sprintf "element-%06d-%s" i (String.make 32 'x'))
+
+(* E1/E7: migration cost is dominated by briefcase serialisation *)
+let bench_briefcase_serialize =
+  let bc = Briefcase.create () in
+  Folder.replace (Briefcase.folder bc "RESULTS") (elements 100);
+  Test.make ~name:"e1/e7 briefcase serialize (100 x ~50B)"
+    (Staged.stage (fun () -> ignore (Briefcase.serialize bc)))
+
+let bench_briefcase_deserialize =
+  let bc = Briefcase.create () in
+  Folder.replace (Briefcase.folder bc "RESULTS") (elements 100);
+  let wire = Briefcase.serialize bc in
+  Test.make ~name:"e1/e7 briefcase deserialize"
+    (Staged.stage (fun () -> ignore (Briefcase.deserialize wire)))
+
+(* E2: each flooding step is a TScript evaluation *)
+let bench_interp_eval =
+  let code = "set s 0; foreach x {1 2 3 4 5 6 7 8} { set s [expr {$s + $x}] }" in
+  Test.make ~name:"e2 tscript eval (8-iteration loop)"
+    (Staged.stage (fun () ->
+         let it = Tscript.Interp.create () in
+         ignore (Tscript.Interp.eval it code)))
+
+(* E3: the two membership structures *)
+let bench_folder_contains =
+  let f = Folder.of_list (elements 1024) in
+  Test.make ~name:"e3 folder contains (1024, scan)"
+    (Staged.stage (fun () -> ignore (Folder.contains f "absent")))
+
+let bench_cabinet_contains =
+  let c = Cabinet.create () in
+  Cabinet.replace c "F" (elements 1024);
+  Test.make ~name:"e3 cabinet contains (1024, hash)"
+    (Staged.stage (fun () -> ignore (Cabinet.contains c "F" "absent")))
+
+(* E4: cash validation *)
+let bench_mint_validate =
+  let mint = Cash.Mint.create ~secret:"bench" () in
+  Test.make ~name:"e4 mint issue + validate"
+    (Staged.stage (fun () ->
+         let bill = Cash.Mint.issue mint ~amount:100 in
+         ignore (Cash.Mint.validate_and_reissue mint bill)))
+
+(* E5: a broker decision over a large candidate set *)
+let bench_policy_choose =
+  let rng = Tacoma_util.Rng.create 5L in
+  let cands =
+    List.init 64 (fun i ->
+        {
+          Broker.Policy.provider = Printf.sprintf "p%d" i;
+          host = "h";
+          capacity = float_of_int (1 + (i mod 4));
+          load = float_of_int (i mod 7);
+          report_age = 0.1;
+        })
+  in
+  let rr = ref 0 in
+  Test.make ~name:"e5 policy choose weighted (64 candidates)"
+    (Staged.stage (fun () ->
+         ignore (Broker.Policy.choose Broker.Policy.Weighted ~rng ~rr_counter:rr cands)))
+
+(* E6: the rear guard's snapshot (deep copy + serialise) *)
+let bench_guard_snapshot =
+  let bc = Briefcase.create () in
+  Folder.replace (Briefcase.folder bc "STATE") (elements 64);
+  Test.make ~name:"e6 guard snapshot (copy + stash)"
+    (Staged.stage (fun () ->
+         let carrier = Briefcase.create () in
+         Guard.Folder_stash.put carrier (Briefcase.copy bc)))
+
+(* E7: a complete simulated 4-hop tcp journey, end to end *)
+let bench_journey =
+  Test.make ~name:"e7 full 4-hop tcp journey (whole sim)"
+    (Staged.stage (fun () ->
+         let net = Net.create (Topology.line 5) in
+         let k = Kernel.create net in
+         Kernel.register_native k "hopper" (fun ctx bc ->
+             let left =
+               Option.value ~default:0
+                 (Option.bind (Briefcase.get bc "LEFT") int_of_string_opt)
+             in
+             if left > 0 then begin
+               Briefcase.set bc "LEFT" (string_of_int (left - 1));
+               Kernel.migrate ctx.Kernel.kernel ~src:ctx.Kernel.site
+                 ~dst:(ctx.Kernel.site + 1) ~contact:"hopper" ~transport:Kernel.Tcp bc
+             end);
+         let bc = Briefcase.create () in
+         Briefcase.set bc "LEFT" "4";
+         Kernel.launch k ~site:0 ~contact:"hopper" bc;
+         Net.run net))
+
+(* E8: the expert system over a day of readings *)
+let bench_stormcast_predict =
+  let field =
+    Apps.Weather.generate ~rng:(Tacoma_util.Rng.create 3L) ~stations:4 ~hours:24 ()
+  in
+  let readings =
+    Array.to_list field.Apps.Weather.readings |> List.concat_map Array.to_list
+  in
+  Test.make ~name:"e8 stormcast predict (96 readings)"
+    (Staged.stage (fun () -> ignore (Apps.Stormcast.predict readings)))
+
+(* language substrates added beyond the minimum: regex and arrays *)
+let bench_regex_search =
+  let re = Tscript.Regex.compile_exn "(\\w+)@(\\w+)" in
+  let subject = "lorem ipsum dolor contact dag@cornell sit amet" in
+  Test.make ~name:"tscript regexp search with captures"
+    (Staged.stage (fun () -> ignore (Tscript.Regex.search re subject)))
+
+let bench_interp_array =
+  let code = "for {set i 0} {$i < 20} {incr i} {set a($i) $i}; array size a" in
+  Test.make ~name:"tscript array fill (20 elements)"
+    (Staged.stage (fun () ->
+         let it = Tscript.Interp.create () in
+         ignore (Tscript.Interp.eval it code)))
+
+let bench_itinerary_plan =
+  let net = Net.create (Topology.grid 5 5) in
+  let k = Kernel.create net in
+  let sites = List.init 24 (fun i -> i + 1) in
+  Test.make ~name:"core itinerary plan (24 stops on a 5x5 grid)"
+    (Staged.stage (fun () -> ignore (Tacoma_core.Itinerary.plan k ~from:0 sites)))
+
+let bench_fuel_admission =
+  let mint = Cash.Mint.create ~secret:"bench-fuel" () in
+  Test.make ~name:"e4c fuel admission (grant + redeem)"
+    (Staged.stage (fun () ->
+         let bc = Briefcase.create () in
+         Cash.Fuel.grant mint bc ~cents:5;
+         let folder = Briefcase.folder bc Cash.Fuel.fuel_folder in
+         match Folder.pop folder with
+         | Some wire -> (
+           match Cash.Ecu.of_wire wire with
+           | Ok bill -> ignore (Cash.Mint.redeem mint bill)
+           | Error _ -> ())
+         | None -> ()))
+
+(* kernel primitives *)
+let bench_meet =
+  let net = Net.create (Topology.line 1) in
+  let k = Kernel.create net in
+  Kernel.register_native k "echo" (fun _ bc -> Briefcase.set bc "OUT" "1");
+  let bc = Briefcase.create () in
+  Test.make ~name:"kernel meet (native, local)"
+    (Staged.stage (fun () -> Kernel.launch k ~site:0 ~contact:"echo" bc; Net.run net))
+
+let bench_engine =
+  Test.make ~name:"netsim 1000 events through the queue"
+    (Staged.stage (fun () ->
+         let e = Netsim.Engine.create () in
+         for i = 1 to 1000 do
+           ignore (Netsim.Engine.schedule e ~after:(float_of_int i) ignore)
+         done;
+         Netsim.Engine.run e))
+
+let bench_sha256 =
+  let payload = String.make 1024 'h' in
+  Test.make ~name:"util sha256 (1 KiB)"
+    (Staged.stage (fun () -> ignore (Tacoma_util.Sha256.digest payload)))
+
+let tests =
+  Test.make_grouped ~name:"tacoma"
+    [
+      bench_briefcase_serialize;
+      bench_briefcase_deserialize;
+      bench_interp_eval;
+      bench_folder_contains;
+      bench_cabinet_contains;
+      bench_mint_validate;
+      bench_policy_choose;
+      bench_guard_snapshot;
+      bench_journey;
+      bench_stormcast_predict;
+      bench_regex_search;
+      bench_interp_array;
+      bench_itinerary_plan;
+      bench_fuel_admission;
+      bench_meet;
+      bench_engine;
+      bench_sha256;
+    ]
+
+let () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      match Analyze.OLS.estimates ols_result with
+      | Some [ est ] -> rows := (name, est) :: !rows
+      | Some _ | None -> ())
+    results;
+  Printf.printf "%-50s | %15s\n" "benchmark" "ns/run";
+  Printf.printf "%s\n" (String.make 70 '-');
+  List.iter
+    (fun (name, est) -> Printf.printf "%-50s | %15.1f\n" name est)
+    (List.sort compare !rows)

@@ -1,0 +1,145 @@
+(* The tacoma command-line tool: run experiments, run ad-hoc agent scripts
+   on a simulated network, and show a traced demo journey. *)
+
+let fmt = Format.std_formatter
+
+(* --- exp: regenerate experiment tables ------------------------------------ *)
+
+let exp_cmd =
+  let run ids =
+    match ids with
+    | [] ->
+      Format.fprintf fmt "Available experiments:@.";
+      List.iter
+        (fun e ->
+          Format.fprintf fmt "  %-4s %s@.       claim: %s@." e.Experiments.Registry.id
+            e.Experiments.Registry.title e.Experiments.Registry.paper_claim)
+        Experiments.Registry.all;
+      `Ok ()
+    | [ "all" ] ->
+      Experiments.Registry.run_all fmt;
+      `Ok ()
+    | ids -> (
+      match
+        List.find_opt (fun id -> Experiments.Registry.find id = None) ids
+      with
+      | Some bad -> `Error (false, Printf.sprintf "unknown experiment %S (try `tacoma exp')" bad)
+      | None ->
+        List.iter
+          (fun id ->
+            match Experiments.Registry.find id with
+            | Some e -> e.Experiments.Registry.print fmt
+            | None -> ())
+          ids;
+        `Ok ())
+  in
+  let open Cmdliner in
+  let ids = Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (e1..e8) or 'all'.") in
+  Cmd.v
+    (Cmd.info "exp" ~doc:"Regenerate experiment tables (no arguments lists them).")
+    Term.(ret (const run $ ids))
+
+(* --- run: execute a TScript agent on a simulated network ------------------- *)
+
+let run_script_cmd =
+  let run topology n code_file trace =
+    let code =
+      let ic = open_in_bin code_file in
+      let len = in_channel_length ic in
+      let s = really_input_string ic len in
+      close_in ic;
+      s
+    in
+    let topo =
+      match topology with
+      | "ring" -> Netsim.Topology.ring n
+      | "line" -> Netsim.Topology.line n
+      | "star" -> Netsim.Topology.star n
+      | "mesh" -> Netsim.Topology.full_mesh n
+      | "grid" ->
+        let side = max 1 (int_of_float (sqrt (float_of_int n))) in
+        Netsim.Topology.grid side side
+      | other -> failwith (Printf.sprintf "unknown topology %S" other)
+    in
+    let net = Netsim.Net.create ~trace topo in
+    let k = Tacoma_core.Kernel.create net in
+    let bc = Tacoma_core.Briefcase.create () in
+    Tacoma_core.Briefcase.set bc Tacoma_core.Briefcase.code_folder code;
+    Tacoma_core.Kernel.launch k ~site:0 ~contact:"ag_script" bc;
+    Netsim.Net.run ~until:3600.0 net;
+    Format.fprintf fmt
+      "done at t=%.4fs: %d activations, %d migrations, %d completions, %d deaths@."
+      (Netsim.Net.now net)
+      (Tacoma_core.Kernel.activations k)
+      (Tacoma_core.Kernel.migrations k)
+      (Tacoma_core.Kernel.completions k)
+      (Tacoma_core.Kernel.deaths k);
+    Format.fprintf fmt "network: %d messages, %d bytes, %d byte-hops@."
+      (Netsim.Netstats.messages_sent (Netsim.Net.stats net))
+      (Netsim.Netstats.bytes_sent (Netsim.Net.stats net))
+      (Netsim.Netstats.byte_hops (Netsim.Net.stats net));
+    List.iter
+      (fun (name, a) ->
+        Format.fprintf fmt "agent %-24s activations=%d completions=%d deaths=%d@." name
+          a.Tacoma_core.Kernel.a_activations a.Tacoma_core.Kernel.a_completions
+          a.Tacoma_core.Kernel.a_deaths)
+      (Tacoma_core.Kernel.activity k);
+    if trace then Netsim.Trace.dump fmt (Netsim.Net.trace net)
+  in
+  let open Cmdliner in
+  let topology =
+    Arg.(value & opt string "ring" & info [ "t"; "topology" ] ~doc:"ring|line|star|mesh|grid")
+  in
+  let n = Arg.(value & opt int 8 & info [ "n"; "sites" ] ~doc:"Number of sites.") in
+  let code = Arg.(required & pos 0 (some file) None & info [] ~docv:"SCRIPT") in
+  let trace = Arg.(value & flag & info [ "trace" ] ~doc:"Dump the event trace.") in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Launch a TScript agent (from a file) at site 0 of a simulated network.")
+    Term.(const run $ topology $ n $ code $ trace)
+
+(* --- demo: a traced journey ------------------------------------------------ *)
+
+let demo_cmd =
+  let run () =
+    let code = {|
+      log "hello from [host]"
+      folder put TRAIL [host]
+      if {[folder size TRAIL] < 4} {
+        set next ""
+        foreach n [neighbors] {
+          if {![folder contains TRAIL $n]} { set next $n; break }
+        }
+        folder set CODE [selfcode]
+        jump $next
+      } else {
+        log "journey complete, filing trail"
+        meet filer
+      }
+    |} in
+    let net = Netsim.Net.create ~trace:true (Netsim.Topology.ring 4) in
+    let k = Tacoma_core.Kernel.create net in
+    let bc = Tacoma_core.Briefcase.create () in
+    Tacoma_core.Briefcase.set bc Tacoma_core.Briefcase.code_folder code;
+    Tacoma_core.Kernel.launch k ~site:0 ~contact:"ag_script" bc;
+    Netsim.Net.run ~until:60.0 net;
+    Netsim.Trace.dump fmt (Netsim.Net.trace net);
+    List.iter
+      (fun site ->
+        let trail =
+          Tacoma_core.Cabinet.elements (Tacoma_core.Kernel.cabinet k site) "TRAIL"
+        in
+        if trail <> [] then
+          Format.fprintf fmt "trail filed at site %d: %s@." site (String.concat " -> " trail))
+      (Netsim.Net.sites net)
+  in
+  let open Cmdliner in
+  Cmd.v (Cmd.info "demo" ~doc:"Run a traced 4-site agent journey.") Term.(const run $ const ())
+
+let () =
+  let open Cmdliner in
+  let info =
+    Cmd.info "tacoma" ~version:"1.0.0"
+      ~doc:"TACOMA mobile agents: experiments, agent runner and demos."
+  in
+  exit (Cmd.eval (Cmd.group info [ exp_cmd; run_script_cmd; demo_cmd ]))

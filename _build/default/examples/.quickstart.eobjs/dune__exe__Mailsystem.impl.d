@@ -1,0 +1,1 @@
+examples/mailsystem.ml: Apps List Netsim Printf Tacoma_core

@@ -1,0 +1,1 @@
+examples/marketplace.ml: Broker Cash List Netsim Option Printf Tacoma_core

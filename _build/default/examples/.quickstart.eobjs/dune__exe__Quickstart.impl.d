@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Netsim Printf String Tacoma_core

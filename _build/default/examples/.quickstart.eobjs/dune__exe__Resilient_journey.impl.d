@@ -1,0 +1,1 @@
+examples/resilient_journey.ml: Guard Netsim Printf String Tacoma_core

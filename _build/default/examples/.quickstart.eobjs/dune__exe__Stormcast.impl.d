@@ -1,0 +1,1 @@
+examples/stormcast.ml: Apps List Netsim Printf Tacoma_core Tacoma_util

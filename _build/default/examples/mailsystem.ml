@@ -1,0 +1,56 @@
+(* The agent-based mail system (paper §6): "an interactive mail system where
+   messages are implemented by agents".  Messages travel to their
+   recipient's home site and deposit themselves; forwarding, vacation
+   replies and mailing lists are agent behaviours, not server features.
+
+   Run with: dune exec examples/mailsystem.exe *)
+
+module Net = Netsim.Net
+module Topology = Netsim.Topology
+module Kernel = Tacoma_core.Kernel
+module Mail = Apps.Agentmail
+
+let show kernel user =
+  Printf.printf "%s's mailbox:\n" user;
+  match Mail.mailbox kernel ~user with
+  | [] -> Printf.printf "  (empty)\n"
+  | msgs ->
+    List.iter
+      (fun m ->
+        Printf.printf "  [%.2fs] from %-8s %s: %s\n" m.Mail.sent_at m.Mail.from_user
+          m.Mail.subject m.Mail.body)
+      msgs
+
+let () =
+  let net = Net.create (Topology.full_mesh 5) in
+  let kernel = Kernel.create net in
+  Mail.setup kernel;
+
+  (* users live at their home sites *)
+  Mail.register_user kernel ~user:"dag" ~home:0;
+  Mail.register_user kernel ~user:"robbert" ~home:1;
+  Mail.register_user kernel ~user:"fred" ~home:2;
+  Mail.register_user kernel ~user:"ken" ~home:3;
+
+  (* robbert forwards to ken; fred is on vacation *)
+  Mail.set_forward kernel ~user:"robbert" ~to_user:"ken";
+  Mail.set_vacation kernel ~user:"fred" ~note:"at HotOS, back next week";
+
+  (* and there is a project mailing list *)
+  Mail.make_list kernel ~name:"tacoma-dev" ~members:[ "dag"; "robbert"; "fred" ];
+
+  Mail.send kernel ~src:0 ~from_user:"dag" ~to_user:"robbert" ~subject:"prototype"
+    ~body:"the rexec agent works!";
+  Mail.send kernel ~src:3 ~from_user:"ken" ~to_user:"fred" ~subject:"horus"
+    ~body:"group comms are in";
+  Mail.send kernel ~src:0 ~from_user:"dag" ~to_user:"tacoma-dev" ~subject:"meeting"
+    ~body:"friday 10am";
+  Mail.send kernel ~src:2 ~from_user:"fred" ~to_user:"nosuchuser" ~subject:"typo"
+    ~body:"this will bounce";
+
+  Net.run ~until:120.0 net;
+
+  List.iter (show kernel) [ "dag"; "robbert"; "fred"; "ken" ];
+  Printf.printf "\n(note: robbert's copy of the list mail was forwarded to ken,\n";
+  Printf.printf " fred's vacation agent answered ken and dag once each,\n";
+  Printf.printf " and the typo bounced back to fred via the postmaster)\n"

@@ -1,0 +1,62 @@
+(* Quickstart: the TACOMA metaphor in one page.
+
+   An agent is code carried in a CODE folder.  It executes at a place (one
+   per site), keeps its state in briefcase folders, moves by meeting the
+   rexec system agent, and leaves site-local state in file cabinets.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Net = Netsim.Net
+module Topology = Netsim.Topology
+module Kernel = Tacoma_core.Kernel
+module Briefcase = Tacoma_core.Briefcase
+module Cabinet = Tacoma_core.Cabinet
+
+(* The travelling agent, in TScript (the stand-in for the paper's Tcl).
+   At each site it appends the host name to its TRAIL folder and signs the
+   site's GUESTBOOK cabinet folder; after visiting four sites it files its
+   trail with the [filer] system agent and stops. *)
+let traveller = {|
+  log "arrived, trail so far: [folder list TRAIL]"
+  folder put TRAIL [host]
+  cabinet put GUESTBOOK "visited by [self] at [now]"
+  if {[folder size TRAIL] < 4} {
+    set next ""
+    foreach n [neighbors] {
+      if {![folder contains TRAIL $n]} { set next $n; break }
+    }
+    folder set CODE [selfcode]
+    jump $next
+  } else {
+    meet filer
+  }
+|}
+
+let () =
+  (* a 4-site ring with 5 ms / 1 MB/s links *)
+  let net = Net.create (Topology.ring 4) in
+  let kernel = Kernel.create net in
+
+  (* pack the briefcase and launch the agent at site 0 *)
+  let bc = Briefcase.create () in
+  Briefcase.set bc Briefcase.code_folder traveller;
+  Kernel.launch kernel ~site:0 ~contact:"ag_script" bc;
+
+  (* run the world *)
+  Net.run ~until:60.0 net;
+
+  Printf.printf "journey finished at t=%.4fs with %d migrations\n" (Net.now net)
+    (Kernel.migrations kernel);
+  List.iter
+    (fun site ->
+      let cab = Kernel.cabinet kernel site in
+      List.iter
+        (fun entry -> Printf.printf "site %d guestbook: %s\n" site entry)
+        (Cabinet.elements cab "GUESTBOOK");
+      match Cabinet.elements cab "TRAIL" with
+      | [] -> ()
+      | trail -> Printf.printf "trail filed at site %d: %s\n" site (String.concat " -> " trail))
+    (Net.sites net);
+  Printf.printf "network moved %d bytes in %d messages\n"
+    (Netsim.Netstats.bytes_sent (Net.stats net))
+    (Netsim.Netstats.messages_sent (Net.stats net))

@@ -1,0 +1,1 @@
+lib/apps/agentmail.ml: List Netsim Option Printf Result String Tacoma_core Tscript

@@ -1,0 +1,1 @@
+lib/apps/agentmail.mli: Netsim Tacoma_core

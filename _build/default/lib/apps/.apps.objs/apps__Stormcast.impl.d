@@ -1,0 +1,1 @@
+lib/apps/stormcast.ml: Array Baseline Hashtbl List Netsim Option Printf Result Tacoma_core Weather

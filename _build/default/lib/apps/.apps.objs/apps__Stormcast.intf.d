@@ -1,0 +1,1 @@
+lib/apps/stormcast.mli: Netsim Tacoma_core Weather

@@ -1,0 +1,1 @@
+lib/apps/weather.ml: Array Float List Printf String Tacoma_util

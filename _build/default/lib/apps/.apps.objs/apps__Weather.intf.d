@@ -1,0 +1,1 @@
+lib/apps/weather.mli: Tacoma_util

@@ -1,0 +1,52 @@
+(** The interactive mail system of paper §6, "where messages are implemented
+    by agents".
+
+    A message is an agent: it travels to the recipient's home site and
+    deposits itself in the mailbox (a cabinet folder); because it is code
+    running at the destination, features that a store-and-forward system
+    needs servers for come free — forwarding (the agent re-sends itself),
+    vacation auto-replies (the agent mails the sender back), and mailing
+    lists (the agent fans out with [diffusion]-style cloning). *)
+
+type message = {
+  from_user : string;
+  to_user : string;
+  subject : string;
+  body : string;
+  sent_at : float;
+}
+
+val wire : message -> string
+val of_wire : string -> (message, string) result
+
+val setup : Tacoma_core.Kernel.t -> unit
+(** Install the [mail] agent at every site. *)
+
+val register_user : Tacoma_core.Kernel.t -> user:string -> home:Netsim.Site.id -> unit
+(** Record the user's home site in the (replicated) directory — every site's
+    cabinet gets the binding, as a real deployment's DNS/passwd map would. *)
+
+val send :
+  Tacoma_core.Kernel.t ->
+  src:Netsim.Site.id ->
+  from_user:string ->
+  to_user:string ->
+  subject:string ->
+  body:string ->
+  unit
+(** Launch the message agent from [src].  Unknown recipients bounce back to
+    the sender's mailbox with a ["bounced:"] subject prefix. *)
+
+val mailbox : Tacoma_core.Kernel.t -> user:string -> message list
+(** Read a user's mailbox at their home site (oldest first). *)
+
+val set_forward : Tacoma_core.Kernel.t -> user:string -> to_user:string -> unit
+(** Forward [user]'s mail to [to_user] (applied at delivery; forwarding
+    chains are followed up to a hop bound to break cycles). *)
+
+val set_vacation : Tacoma_core.Kernel.t -> user:string -> note:string -> unit
+(** Auto-reply with [note] to each sender (at most once per sender). *)
+
+val make_list :
+  Tacoma_core.Kernel.t -> name:string -> members:string list -> unit
+(** Create a mailing list address: mail to [name] clones to every member. *)

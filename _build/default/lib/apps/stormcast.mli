@@ -1,0 +1,104 @@
+(** StormCast reimplemented with agents (paper §6): "a set of expert systems
+    to predict severe storms in the Arctic based on weather data obtained
+    from a distributed network of sensors".
+
+    Two architectures over identical data:
+    - {e agent}: a collector agent tours the sensor sites, filters readings
+      against the anomaly rules {e at the data} and carries only suspicious
+      readings to the prediction centre — the paper's bandwidth-conservation
+      design;
+    - {e client/server}: the centre pulls every site's full readings over
+      {!Baseline.Rpc} and filters centrally.
+
+    Both feed the same rule-based expert system, so predictions agree and
+    only the network cost differs. *)
+
+type prediction = { p_station : int; p_hour : int; severity : float }
+
+(** {1 The expert system} *)
+
+val anomalous : Weather.reading -> bool
+(** The in-field filter rule (pressure trough or wind surge). *)
+
+val predict : Weather.reading list -> prediction list
+(** Rule-based storm detection over (filtered or raw) readings:
+    pressure depth, wind strength, pressure fall rate, and neighbouring-
+    station corroboration combine into a severity score. *)
+
+val score :
+  Weather.field -> prediction list -> hit_rate:float ref -> false_alarm_rate:float ref -> unit
+(** Compare predictions against injected ground truth. *)
+
+(** {1 Deployments} *)
+
+type outcome = {
+  predictions : prediction list;
+  bytes_moved : int;      (** network bytes attributable to this run *)
+  finished_at : float;    (** simulated completion time *)
+  readings_moved : int;   (** readings that crossed the network *)
+}
+
+val load_sensor_data : Tacoma_core.Kernel.t -> sites:Netsim.Site.id list -> Weather.field -> unit
+(** Deposit each station's readings into its site cabinet (folder
+    ["READINGS"]), as the sensor network would have. *)
+
+val run_agent_collector :
+  Tacoma_core.Kernel.t ->
+  sensor_sites:Netsim.Site.id list ->
+  centre:Netsim.Site.id ->
+  on_done:(outcome -> unit) ->
+  unit
+(** Launch the collector agent; it visits every sensor site in order and
+    delivers filtered findings to the centre, where the expert system runs. *)
+
+val run_script_collector :
+  Tacoma_core.Kernel.t ->
+  sensor_sites:Netsim.Site.id list ->
+  centre:Netsim.Site.id ->
+  on_done:(outcome -> unit) ->
+  unit
+(** The same journey with the collector written in TScript — the agent's
+    source really travels in its CODE folder, as the prototype's Tcl agents
+    did.  Findings and predictions are identical to the native collector;
+    only the code-shipping bytes differ. *)
+
+val collector_script : string
+(** The TScript source of the script collector (for inspection/docs). *)
+
+val run_client_server :
+  Netsim.Net.t ->
+  field:Weather.field ->
+  sensor_sites:Netsim.Site.id list ->
+  centre:Netsim.Site.id ->
+  on_done:(outcome -> unit) ->
+  unit
+(** The pull architecture over the same network (servers are installed by
+    this call). *)
+
+(** {1 Resident monitor agents (push)}
+
+    The real StormCast was event-driven: instead of a roaming collector
+    that picks findings up at tour time, a {e resident} agent at each
+    sensor site watches readings as they are produced and couriers
+    anomalies to the centre immediately.  Same filter-at-the-data
+    bandwidth story, radically lower detection latency. *)
+
+type push_outcome = {
+  alerts : int;                (** anomalous readings pushed to the centre *)
+  mean_alert_latency : float;  (** reading production to centre arrival, s *)
+  push_bytes : int;
+  push_predictions : prediction list;
+}
+
+val run_monitor_agents :
+  Tacoma_core.Kernel.t ->
+  field:Weather.field ->
+  sensor_sites:Netsim.Site.id list ->
+  centre:Netsim.Site.id ->
+  hour_scale:float ->
+  unit ->
+  unit ->
+  push_outcome
+(** Install a monitor agent at every sensor site; hour [h]'s reading is
+    produced at simulated time [(h+1) * hour_scale].  Drive the network
+    past the last hour, then call the returned thunk for the outcome. *)

@@ -1,0 +1,71 @@
+module Rng = Tacoma_util.Rng
+
+type reading = {
+  station : int;
+  hour : int;
+  temp_c : float;
+  pressure_hpa : float;
+  wind_ms : float;
+}
+
+let wire r =
+  Printf.sprintf "%d,%d,%.2f,%.2f,%.2f" r.station r.hour r.temp_c r.pressure_hpa r.wind_ms
+
+let of_wire s =
+  match String.split_on_char ',' s with
+  | [ station; hour; temp; pressure; wind ] -> (
+    match
+      ( int_of_string_opt station,
+        int_of_string_opt hour,
+        float_of_string_opt temp,
+        float_of_string_opt pressure,
+        float_of_string_opt wind )
+    with
+    | Some station, Some hour, Some temp_c, Some pressure_hpa, Some wind_ms ->
+      Ok { station; hour; temp_c; pressure_hpa; wind_ms }
+    | _ -> Error "bad numeric field")
+  | _ -> Error "expected five fields"
+
+type field = { readings : reading array array; storm_hours : (int * int) list }
+
+let is_storm_truth field ~station ~hour = List.mem (station, hour) field.storm_hours
+
+(* Calm Arctic baseline with diurnal swing; storms overlay a pressure trough
+   and wind surge that travels one station per hour. *)
+let generate ~rng ~stations ~hours ?(storm_count = 2) () =
+  if stations < 1 || hours < 1 then invalid_arg "Weather.generate";
+  let storm_hours = ref [] in
+  let storm_effect = Array.make_matrix stations hours 0.0 in
+  for _ = 1 to storm_count do
+    let onset = Rng.int rng (max 1 (hours / 2)) in
+    let origin = Rng.int rng stations in
+    let span = 2 + Rng.int rng (max 1 (stations / 2)) in
+    let duration = 4 + Rng.int rng 6 in
+    for s = origin to min (stations - 1) (origin + span) do
+      let arrival = onset + (s - origin) in
+      for h = arrival to min (hours - 1) (arrival + duration) do
+        (* intensity ramps in and out over the storm's local duration *)
+        let phase = float_of_int (h - arrival) /. float_of_int duration in
+        let intensity = sin (phase *. Float.pi) in
+        if intensity > 0.35 then begin
+          storm_effect.(s).(h) <- Float.max storm_effect.(s).(h) intensity;
+          if not (List.mem (s, h) !storm_hours) then storm_hours := (s, h) :: !storm_hours
+        end
+      done
+    done
+  done;
+  let readings =
+    Array.init stations (fun s ->
+        Array.init hours (fun h ->
+            let diurnal = 3.0 *. sin (float_of_int h /. 24.0 *. 2.0 *. Float.pi) in
+            let storm = storm_effect.(s).(h) in
+            {
+              station = s;
+              hour = h;
+              temp_c = -8.0 +. diurnal +. Rng.gaussian rng ~mu:0.0 ~sigma:0.8 +. (2.0 *. storm);
+              pressure_hpa =
+                1008.0 -. (35.0 *. storm) +. Rng.gaussian rng ~mu:0.0 ~sigma:1.5;
+              wind_ms = 4.0 +. (18.0 *. storm) +. Float.abs (Rng.gaussian rng ~mu:0.0 ~sigma:1.2);
+            }))
+  in
+  { readings; storm_hours = !storm_hours }

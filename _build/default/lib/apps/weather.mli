@@ -1,0 +1,39 @@
+(** Synthetic Arctic weather for the StormCast reimplementation (paper §6).
+
+    The real StormCast [J93] predicted severe storms from "weather data
+    obtained from a distributed network of sensors"; we have no Arctic
+    sensor network, so this module generates a field of hourly readings
+    with injected storm fronts.  A front passes over consecutive stations
+    with a lag, depressing pressure and raising wind — giving the expert
+    rules (pressure drop, wind surge, multi-station corroboration) something
+    real to detect, and giving ground truth to score predictions against. *)
+
+type reading = {
+  station : int;   (** sensor site index, 0-based *)
+  hour : int;
+  temp_c : float;
+  pressure_hpa : float;
+  wind_ms : float;
+}
+
+val wire : reading -> string
+(** ["station,hour,temp,pressure,wind"] — the folder element format. *)
+
+val of_wire : string -> (reading, string) result
+
+type field = {
+  readings : reading array array; (** [station].(hour) *)
+  storm_hours : (int * int) list; (** (station, hour) under a storm front *)
+}
+
+val generate :
+  rng:Tacoma_util.Rng.t ->
+  stations:int ->
+  hours:int ->
+  ?storm_count:int ->
+  unit ->
+  field
+(** Deterministic for a given stream.  [storm_count] fronts (default 2)
+    sweep across station ranges at random onset times. *)
+
+val is_storm_truth : field -> station:int -> hour:int -> bool

@@ -1,0 +1,1 @@
+lib/baseline/rpc.ml: Hashtbl List Netsim String

@@ -1,0 +1,48 @@
+module Net = Netsim.Net
+
+type Netsim.Message.payload +=
+  | Request of { rid : int; service : string; query : string; reply_to : Netsim.Site.id }
+  | Response of { rid : int; data : string list }
+
+let request_overhead = 96
+let response_overhead = 96
+
+type stats = { mutable requests : int; mutable response_bytes : int }
+
+let rid_counter = ref 0
+let pending : (int, string list -> unit) Hashtbl.t = Hashtbl.create 64
+
+let data_bytes rows = List.fold_left (fun acc r -> acc + String.length r) 0 rows
+
+let serve net ~site ~service handler =
+  let stats = { requests = 0; response_bytes = 0 } in
+  Net.set_handler net site ~key:("rpc:" ^ service) (fun msg ->
+      match msg.Netsim.Message.payload with
+      | Request { rid; service = s; query; reply_to } when s = service ->
+        stats.requests <- stats.requests + 1;
+        let rows = handler ~query in
+        let size = response_overhead + data_bytes rows in
+        stats.response_bytes <- stats.response_bytes + size;
+        Net.send net ~src:site ~dst:reply_to ~size (Response { rid; data = rows })
+      | Request _ | Response _ | _ -> ());
+  stats
+
+let ensure_client net src =
+  Net.set_handler net src ~key:"rpc-client" (fun msg ->
+      match msg.Netsim.Message.payload with
+      | Response { rid; data } -> (
+        match Hashtbl.find_opt pending rid with
+        | Some k ->
+          Hashtbl.remove pending rid;
+          k data
+        | None -> ())
+      | Request _ | _ -> ())
+
+let call net ~src ~dst ~service ~query ~on_reply =
+  ensure_client net src;
+  incr rid_counter;
+  let rid = !rid_counter in
+  Hashtbl.replace pending rid on_reply;
+  Net.send net ~src ~dst
+    ~size:(request_overhead + String.length query)
+    (Request { rid; service; query; reply_to = src })

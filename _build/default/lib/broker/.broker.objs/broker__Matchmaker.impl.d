@@ -1,0 +1,1 @@
+lib/broker/matchmaker.ml: Hashtbl List Netsim Option Policy Printf Provider Tacoma_core Tacoma_util

@@ -1,0 +1,1 @@
+lib/broker/matchmaker.mli: Netsim Policy Provider Tacoma_core

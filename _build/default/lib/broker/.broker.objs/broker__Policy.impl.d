@@ -1,0 +1,1 @@
+lib/broker/policy.ml: Float List String Tacoma_util

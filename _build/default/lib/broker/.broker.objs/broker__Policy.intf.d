@@ -1,0 +1,1 @@
+lib/broker/policy.mli: Tacoma_util

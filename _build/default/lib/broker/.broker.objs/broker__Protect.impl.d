@@ -1,0 +1,1 @@
+lib/broker/protect.ml: List Netsim Option Tacoma_core

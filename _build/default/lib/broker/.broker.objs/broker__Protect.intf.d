@@ -1,0 +1,1 @@
+lib/broker/protect.mli: Netsim Tacoma_core

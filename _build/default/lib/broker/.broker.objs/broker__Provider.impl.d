@@ -1,0 +1,1 @@
+lib/broker/provider.ml: Float List Netsim Option Queue Tacoma_core Ticket

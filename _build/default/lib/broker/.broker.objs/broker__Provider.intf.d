@@ -1,0 +1,1 @@
+lib/broker/provider.mli: Netsim Tacoma_core

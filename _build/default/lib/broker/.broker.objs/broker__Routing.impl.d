@@ -1,0 +1,1 @@
+lib/broker/routing.ml: Hashtbl List Matchmaker Netsim Option Policy Printf String Tacoma_core

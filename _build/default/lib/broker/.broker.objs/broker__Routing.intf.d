@@ -1,0 +1,1 @@
+lib/broker/routing.mli: Matchmaker Policy Tacoma_core

@@ -1,0 +1,1 @@
+lib/broker/ticket.ml: Printf String Tacoma_core Tacoma_util

@@ -1,0 +1,1 @@
+lib/broker/ticket.mli: Netsim Tacoma_core

@@ -1,0 +1,141 @@
+module Kernel = Tacoma_core.Kernel
+module Briefcase = Tacoma_core.Briefcase
+
+type entry = {
+  provider : string;
+  service : string;
+  host : string;
+  capacity : float;
+  mutable load : float;
+  mutable reported_at : float;
+}
+
+type t = {
+  kernel : Kernel.t;
+  bsite : Netsim.Site.id;
+  bname : string;
+  default_policy : Policy.t;
+  max_report_age : float option;
+  entries : (string, entry) Hashtbl.t; (* provider name -> entry *)
+  mutable peers : (Netsim.Site.id * string) list;
+  rng : Tacoma_util.Rng.t;
+  rr_counter : int ref;
+  mutable lookup_count : int;
+  mutable report_count : int;
+}
+
+let site t = t.bsite
+let agent_name t = t.bname
+let lookups t = t.lookup_count
+let reports t = t.report_count
+
+let upsert t ~provider ~service ~host ~capacity ~load =
+  let now = Kernel.now t.kernel in
+  match Hashtbl.find_opt t.entries provider with
+  | Some e ->
+    e.load <- load;
+    e.reported_at <- now
+  | None ->
+    Hashtbl.replace t.entries provider
+      { provider; service; host; capacity; load; reported_at = now }
+
+let fresh t ~now e =
+  match t.max_report_age with
+  | None -> true
+  | Some max_age -> now -. e.reported_at <= max_age
+
+let candidates t ~service =
+  let now = Kernel.now t.kernel in
+  Hashtbl.fold
+    (fun _ e acc ->
+      if e.service = service && fresh t ~now e then
+        {
+          Policy.provider = e.provider;
+          host = e.host;
+          capacity = e.capacity;
+          load = e.load;
+          report_age = now -. e.reported_at;
+        }
+        :: acc
+      else acc)
+    t.entries []
+  |> List.sort (fun a b -> compare a.Policy.provider b.Policy.provider)
+
+let services t =
+  let now = Kernel.now t.kernel in
+  Hashtbl.fold (fun _ e acc -> if fresh t ~now e then e.service :: acc else acc) t.entries []
+  |> List.sort_uniq compare
+
+let lookup t ~service ?policy () =
+  t.lookup_count <- t.lookup_count + 1;
+  Policy.choose
+    (Option.value ~default:t.default_policy policy)
+    ~rng:t.rng ~rr_counter:t.rr_counter (candidates t ~service)
+
+let forward_to_peers t bc =
+  List.iter
+    (fun (peer_site, peer_agent) ->
+      let copy = Briefcase.copy bc in
+      Briefcase.set copy "GOSSIP" "1";
+      Kernel.send_briefcase t.kernel ~src:t.bsite ~dst:peer_site ~contact:peer_agent copy)
+    t.peers
+
+let handle t bc =
+  match Option.value ~default:"lookup" (Briefcase.get bc "OP") with
+  | "register" | "report" -> (
+    t.report_count <- t.report_count + 1;
+    match
+      ( Briefcase.get bc "PROVIDER",
+        Briefcase.get bc "SERVICE",
+        Briefcase.get bc "HOST" )
+    with
+    | Some provider, Some service, Some host ->
+      let capacity =
+        Option.value ~default:1.0 (Option.bind (Briefcase.get bc "CAPACITY") float_of_string_opt)
+      in
+      let load =
+        Option.value ~default:0.0 (Option.bind (Briefcase.get bc "LOAD") float_of_string_opt)
+      in
+      upsert t ~provider ~service ~host ~capacity ~load;
+      (* one-hop gossip: only originals travel to peers *)
+      if not (Briefcase.mem bc "GOSSIP") then forward_to_peers t bc
+    | _ -> raise (Kernel.Agent_error "broker: report needs PROVIDER/SERVICE/HOST"))
+  | "lookup" -> (
+    match Briefcase.get bc "SERVICE" with
+    | None -> raise (Kernel.Agent_error "broker: lookup needs SERVICE")
+    | Some service -> (
+      let policy = Option.bind (Briefcase.get bc "POLICY") Policy.of_string in
+      match lookup t ~service ?policy () with
+      | Some c ->
+        Briefcase.set bc "PROVIDER" c.Policy.provider;
+        Briefcase.set bc "PROVIDER-HOST" c.Policy.host;
+        Briefcase.set bc "STATUS" "ok"
+      | None -> Briefcase.set bc "STATUS" "no-provider"))
+  | op -> raise (Kernel.Agent_error (Printf.sprintf "broker: unknown op %S" op))
+
+let install kernel ~site ~name ?(policy = Policy.Least_loaded) ?max_report_age () =
+  let t =
+    {
+      kernel;
+      bsite = site;
+      bname = name;
+      default_policy = policy;
+      max_report_age;
+      entries = Hashtbl.create 16;
+      peers = [];
+      rng = Tacoma_util.Rng.split (Kernel.rng kernel);
+      rr_counter = ref 0;
+      lookup_count = 0;
+      report_count = 0;
+    }
+  in
+  Kernel.register_native kernel ~site name (fun _ bc -> handle t bc);
+  t
+
+let add_peer t peer = t.peers <- peer :: t.peers
+
+let register_provider t p =
+  upsert t ~provider:(Provider.name p) ~service:(Provider.service p)
+    ~host:(Kernel.site_name t.kernel (Provider.site p))
+    ~capacity:(Provider.capacity p)
+    ~load:(float_of_int (Provider.queue_length p))

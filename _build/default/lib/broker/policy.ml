@@ -1,0 +1,44 @@
+type t = Random | Round_robin | Least_loaded | Weighted
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "random" -> Some Random
+  | "round-robin" | "rr" -> Some Round_robin
+  | "least-loaded" | "ll" -> Some Least_loaded
+  | "weighted" -> Some Weighted
+  | _ -> None
+
+let name = function
+  | Random -> "random"
+  | Round_robin -> "round-robin"
+  | Least_loaded -> "least-loaded"
+  | Weighted -> "weighted"
+
+let all = [ Random; Round_robin; Least_loaded; Weighted ]
+
+type candidate = {
+  provider : string;
+  host : string;
+  capacity : float;
+  load : float;
+  report_age : float;
+}
+
+let min_by score = function
+  | [] -> None
+  | c :: rest ->
+    Some
+      (List.fold_left (fun best x -> if score x < score best then x else best) c rest)
+
+let choose t ~rng ~rr_counter candidates =
+  match candidates with
+  | [] -> None
+  | _ -> (
+    match t with
+    | Random -> Some (List.nth candidates (Tacoma_util.Rng.int rng (List.length candidates)))
+    | Round_robin ->
+      let i = !rr_counter in
+      rr_counter := i + 1;
+      Some (List.nth candidates (i mod List.length candidates))
+    | Least_loaded -> min_by (fun c -> c.load) candidates
+    | Weighted -> min_by (fun c -> c.load /. Float.max 0.001 c.capacity) candidates)

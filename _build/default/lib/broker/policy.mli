@@ -1,0 +1,24 @@
+(** Request-distribution policies (paper §4: "requests can be distributed
+    amongst service providers based on load and capacity"). *)
+
+type t =
+  | Random
+  | Round_robin
+  | Least_loaded   (** lowest queue-length report wins *)
+  | Weighted       (** lowest load/capacity ratio wins *)
+
+val of_string : string -> t option
+val name : t -> string
+val all : t list
+
+type candidate = {
+  provider : string;        (** provider agent name *)
+  host : string;            (** site name *)
+  capacity : float;         (** nominal service rate multiplier *)
+  load : float;             (** last reported queue length *)
+  report_age : float;       (** seconds since that report *)
+}
+
+val choose :
+  t -> rng:Tacoma_util.Rng.t -> rr_counter:int ref -> candidate list -> candidate option
+(** Pick a provider.  Deterministic given the RNG stream and counter. *)

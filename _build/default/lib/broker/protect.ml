@@ -1,0 +1,74 @@
+module Kernel = Tacoma_core.Kernel
+module Briefcase = Tacoma_core.Briefcase
+module Folder = Tacoma_core.Folder
+
+type policy = { allowed : string list option; min_interval : float }
+
+type t = {
+  kernel : Kernel.t;
+  psite : Netsim.Site.id;
+  secret_name : string;
+  policy : policy;
+  (* the queue itself is a briefcase folder holding serialised requester
+     briefcases — the paper's point about typeless folders *)
+  queue : Briefcase.t;
+  mutable draining : bool;
+  mutable forwarded_count : int;
+  mutable denied_count : int;
+}
+
+let queue_folder = "MEETING-REQUESTS"
+
+let pending t = Folder.length (Briefcase.folder t.queue queue_folder)
+let forwarded t = t.forwarded_count
+let denied t = t.denied_count
+
+let allowed t requester =
+  match t.policy.allowed with
+  | None -> true
+  | Some names -> List.mem requester names
+
+(* Drain loop: forward one queued request to the protected agent every
+   min_interval seconds, inside its own activation. *)
+let rec drain t ctx =
+  match Folder.pop (Briefcase.folder t.queue queue_folder) with
+  | None -> t.draining <- false
+  | Some wire ->
+    (match Briefcase.deserialize wire with
+    | request ->
+      t.forwarded_count <- t.forwarded_count + 1;
+      Kernel.meet ctx t.secret_name request
+    | exception Tacoma_core.Codec.Malformed _ -> ());
+    if t.policy.min_interval > 0.0 then Kernel.sleep ctx t.policy.min_interval;
+    drain t ctx
+
+let install kernel ~site ~public_name ~secret_name ~policy () =
+  let t =
+    {
+      kernel;
+      psite = site;
+      secret_name;
+      policy;
+      queue = Briefcase.create ();
+      draining = false;
+      forwarded_count = 0;
+      denied_count = 0;
+    }
+  in
+  let drain_agent = "protect-drain:" ^ public_name in
+  Kernel.register_native kernel ~site drain_agent (fun ctx _ -> drain t ctx);
+  Kernel.register_native kernel ~site public_name (fun _ bc ->
+      let requester = Option.value ~default:"" (Briefcase.get bc "REQUESTER") in
+      if not (allowed t requester) then begin
+        t.denied_count <- t.denied_count + 1;
+        Briefcase.set bc "STATUS" "denied"
+      end
+      else begin
+        Folder.enqueue (Briefcase.folder t.queue queue_folder) (Briefcase.serialize bc);
+        Briefcase.set bc "STATUS" "queued";
+        if not t.draining then begin
+          t.draining <- true;
+          Kernel.launch kernel ~site:t.psite ~contact:drain_agent (Briefcase.create ())
+        end
+      end);
+  t

@@ -1,0 +1,39 @@
+(** Protected-agent brokering (paper §4).
+
+    "Another use of broker agents is to enforce some protected agent's
+    policies with regard to meeting other agents.  This is accomplished by
+    keeping the name of the protected agent secret from all but its broker
+    ...  the broker maintains a folder for each agent that has requested a
+    meeting ...  This folder contains the agent that has requested the
+    meeting (along with its briefcase).  Notice that this scheme is possible
+    only because folders are uninterpreted and typeless and, therefore, can
+    themselves store agents and sets of folders."
+
+    The broker queues each request — the requester's whole serialised
+    briefcase, stored inside a folder — and releases them to the protected
+    agent according to a policy (here: a rate limit and an allow-list). *)
+
+type t
+
+type policy = {
+  allowed : string list option; (** requester names; [None] = anyone *)
+  min_interval : float;         (** seconds between forwarded meetings *)
+}
+
+val install :
+  Tacoma_core.Kernel.t ->
+  site:Netsim.Site.id ->
+  public_name:string ->
+  secret_name:string ->
+  policy:policy ->
+  unit ->
+  t
+(** [public_name] is the broker clients meet (with a [REQUESTER] folder and
+    whatever folders the protected agent expects); [secret_name] is the
+    protected agent, which must be installed at the same site. *)
+
+val pending : t -> int
+(** Requests queued but not yet forwarded. *)
+
+val forwarded : t -> int
+val denied : t -> int

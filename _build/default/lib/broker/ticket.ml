@@ -1,0 +1,34 @@
+module Kernel = Tacoma_core.Kernel
+module Briefcase = Tacoma_core.Briefcase
+module Sha256 = Tacoma_util.Sha256
+
+type t = { service : string; job : string; expires : float; signature : string }
+
+let payload ~service ~job ~expires = Printf.sprintf "tkt|%s|%s|%.6f" service job expires
+
+let issue ~key ~service ~job ~now ~ttl =
+  let expires = now +. ttl in
+  { service; job; expires; signature = Sha256.hmac_hex ~key (payload ~service ~job ~expires) }
+
+let valid ~key ~now t =
+  now <= t.expires
+  && String.equal t.signature
+       (Sha256.hmac_hex ~key (payload ~service:t.service ~job:t.job ~expires:t.expires))
+
+let wire t = Printf.sprintf "%s|%s|%.6f|%s" t.service t.job t.expires t.signature
+
+let of_wire w =
+  match String.split_on_char '|' w with
+  | [ service; job; expires; signature ] -> (
+    match float_of_string_opt expires with
+    | Some expires -> Ok { service; job; expires; signature }
+    | None -> Error "bad expiry")
+  | _ -> Error "expected four fields"
+
+let install_agent kernel ~site ~key ~ttl =
+  Kernel.register_native kernel ~site "ticket" (fun ctx bc ->
+      match (Briefcase.get bc "SERVICE", Briefcase.get bc "JOB") with
+      | Some service, Some job ->
+        let now = Kernel.now ctx.Kernel.kernel in
+        Briefcase.set bc "TICKET" (wire (issue ~key ~service ~job ~now ~ttl))
+      | _ -> raise (Kernel.Agent_error "ticket: missing SERVICE or JOB folder"))

@@ -1,0 +1,16 @@
+(** Access tickets.  The TACOMA prototype's scheduling service uses an agent
+    that "issues tickets to allow access to the service" (paper §6): a
+    ticket is a signed capability with an expiry; providers refuse jobs
+    whose ticket does not verify. *)
+
+type t = { service : string; job : string; expires : float; signature : string }
+
+val issue : key:string -> service:string -> job:string -> now:float -> ttl:float -> t
+val valid : key:string -> now:float -> t -> bool
+val wire : t -> string
+val of_wire : string -> (t, string) result
+
+val install_agent :
+  Tacoma_core.Kernel.t -> site:Netsim.Site.id -> key:string -> ttl:float -> unit
+(** Registers the [ticket] agent: meet with [SERVICE] and [JOB] folders set;
+    it writes the [TICKET] folder. *)

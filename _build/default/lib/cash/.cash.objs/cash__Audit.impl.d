@@ -1,0 +1,1 @@
+lib/cash/audit.ml: Ecu List Printf Result String Tacoma_core Tacoma_util Validator

@@ -1,0 +1,1 @@
+lib/cash/audit.mli: Ecu Netsim Tacoma_core

@@ -1,0 +1,1 @@
+lib/cash/ecu.ml: Format List Printf String Tacoma_util

@@ -1,0 +1,1 @@
+lib/cash/ecu.mli: Format

@@ -1,0 +1,1 @@
+lib/cash/fuel.ml: Ecu Mint Tacoma_core

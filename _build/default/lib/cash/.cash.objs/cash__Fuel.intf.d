@@ -1,0 +1,1 @@
+lib/cash/fuel.mli: Mint Tacoma_core

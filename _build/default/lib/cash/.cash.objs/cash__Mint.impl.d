@@ -1,0 +1,1 @@
+lib/cash/mint.ml: Ecu Hashtbl List Printf String Tacoma_util

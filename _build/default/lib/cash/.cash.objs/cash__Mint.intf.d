@@ -1,0 +1,1 @@
+lib/cash/mint.mli: Ecu

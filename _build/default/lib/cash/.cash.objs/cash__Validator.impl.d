@@ -1,0 +1,1 @@
+lib/cash/validator.ml: Ecu List Mint Option Printf Tacoma_core

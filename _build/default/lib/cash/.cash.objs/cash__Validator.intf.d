@@ -1,0 +1,1 @@
+lib/cash/validator.mli: Ecu Mint Netsim Tacoma_core

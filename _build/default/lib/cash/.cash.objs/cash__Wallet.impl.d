@@ -1,0 +1,1 @@
+lib/cash/wallet.ml: Ecu List Tacoma_core

@@ -1,0 +1,1 @@
+lib/cash/wallet.mli: Ecu Tacoma_core

@@ -1,0 +1,180 @@
+module Kernel = Tacoma_core.Kernel
+module Briefcase = Tacoma_core.Briefcase
+module Folder = Tacoma_core.Folder
+module Cabinet = Tacoma_core.Cabinet
+module Sha256 = Tacoma_util.Sha256
+
+type statement = {
+  tx : string;
+  action : string;
+  actor : string;
+  amount : int;
+  at : float;
+  signature : string;
+}
+
+let payload ~tx ~action ~actor ~amount ~at =
+  Printf.sprintf "%s|%s|%s|%d|%.6f" tx action actor amount at
+
+let sign ~key ~tx ~action ~actor ~amount ~at =
+  {
+    tx;
+    action;
+    actor;
+    amount;
+    at;
+    signature = Sha256.hmac_hex ~key (payload ~tx ~action ~actor ~amount ~at);
+  }
+
+let statement_valid ~key s =
+  String.equal s.signature
+    (Sha256.hmac_hex ~key
+       (payload ~tx:s.tx ~action:s.action ~actor:s.actor ~amount:s.amount ~at:s.at))
+
+let statement_wire s =
+  Printf.sprintf "%s|%s|%s|%d|%.6f|%s" s.tx s.action s.actor s.amount s.at s.signature
+
+let statement_of_wire w =
+  match String.split_on_char '|' w with
+  | [ tx; action; actor; amount; at; signature ] -> (
+    match (int_of_string_opt amount, float_of_string_opt at) with
+    | Some amount, Some at -> Ok { tx; action; actor; amount; at; signature }
+    | _ -> Error "bad numeric field")
+  | _ -> Error "expected six fields"
+
+(* --- court ----------------------------------------------------------------- *)
+
+type verdict = Clean | Merchant_cheated | Customer_cheated | No_transaction
+
+let verdict_name = function
+  | Clean -> "clean"
+  | Merchant_cheated -> "merchant-cheated"
+  | Customer_cheated -> "customer-cheated"
+  | No_transaction -> "no-transaction"
+
+let judge ~keys ~log ~tx =
+  let valid s =
+    match List.assoc_opt s.actor keys with
+    | Some key -> statement_valid ~key s
+    | None -> false
+  in
+  let for_tx = List.filter (fun s -> s.tx = tx && valid s) log in
+  let has action = List.exists (fun s -> s.action = action) for_tx in
+  match (has "pay", has "serve") with
+  | true, true -> Clean
+  | true, false -> Merchant_cheated
+  | false, true -> Customer_cheated
+  | false, false -> No_transaction
+
+(* --- witness and court agents ------------------------------------------------ *)
+
+let witness_log_folder = "WITNESS-LOG"
+
+let install_witness kernel ~site =
+  Kernel.register_native kernel ~site "witness" (fun ctx bc ->
+      let cab = Kernel.cabinet ctx.Kernel.kernel ctx.Kernel.site in
+      (match Briefcase.get bc "STMT" with
+      | Some stmt -> Cabinet.put cab witness_log_folder stmt
+      | None -> ());
+      match (Briefcase.get bc "FORWARD-HOST", Briefcase.get bc "FORWARD-AGENT") with
+      | Some host, Some agent -> (
+        match Kernel.site_named ctx.Kernel.kernel host with
+        | Some dst ->
+          Kernel.send_briefcase ctx.Kernel.kernel ~src:ctx.Kernel.site ~dst ~contact:agent bc
+        | None -> raise (Kernel.Agent_error "witness: unknown FORWARD-HOST"))
+      | _ -> () (* log-only deposit *))
+
+let read_witness_log kernel ~site =
+  List.filter_map
+    (fun w -> Result.to_option (statement_of_wire w))
+    (Cabinet.elements (Kernel.cabinet kernel site) witness_log_folder)
+
+let install_court kernel ~site ~keys =
+  Kernel.register_native kernel ~site "court" (fun ctx bc ->
+      match Briefcase.get bc "TX" with
+      | None -> raise (Kernel.Agent_error "court: missing TX folder")
+      | Some tx ->
+        let log = read_witness_log ctx.Kernel.kernel ~site:ctx.Kernel.site in
+        Briefcase.set bc "VERDICT" (verdict_name (judge ~keys ~log ~tx)))
+
+(* --- purchase choreography ----------------------------------------------------- *)
+
+type behavior = Honest | Cheat
+
+type purchase = {
+  p_tx : string;
+  mutable merchant_accepted : bool;
+  mutable merchant_rejected : bool;
+  mutable customer_served : bool;
+  mutable merchant_bills : Ecu.t list;
+}
+
+let purchase kernel ~tx ~amount ~bills ~customer:(cname, ckey, cbehavior)
+    ~merchant:(mname, mkey, mbehavior) ~customer_site ~merchant_site ~witness_site
+    ~bank_site =
+  let p =
+    {
+      p_tx = tx;
+      merchant_accepted = false;
+      merchant_rejected = false;
+      customer_served = false;
+      merchant_bills = [];
+    }
+  in
+  let customer_host = Kernel.site_name kernel customer_site in
+  let merchant_host = Kernel.site_name kernel merchant_site in
+  let cust_agent = "cust-" ^ tx and merch_agent = "merch-" ^ tx in
+
+  (* customer end: records that the service arrived *)
+  Kernel.register_native kernel ~site:customer_site cust_agent (fun _ bc ->
+      if Briefcase.mem bc "SERVICE" then p.customer_served <- true);
+
+  (* merchant end: validate the cash with the bank, then serve (or not) *)
+  Kernel.register_native kernel ~site:merchant_site merch_agent (fun ctx bc ->
+      let k = ctx.Kernel.kernel in
+      let ecus =
+        Folder.fold
+          (fun acc e -> match Ecu.of_wire e with Ok ecu -> ecu :: acc | Error _ -> acc)
+          []
+          (Briefcase.folder bc "PAYMENT")
+        |> List.rev
+      in
+      Validator.remote_validate k ~src:merchant_site ~bank:bank_site ecus
+        ~on_reply:(fun result ->
+          match result with
+          | Error _ -> p.merchant_rejected <- true
+          | Ok fresh ->
+            p.merchant_accepted <- true;
+            p.merchant_bills <- fresh;
+            (match mbehavior with
+            | Cheat -> () (* bank the money, never serve *)
+            | Honest ->
+              let stmt =
+                sign ~key:mkey ~tx ~action:"serve" ~actor:mname ~amount
+                  ~at:(Kernel.now k)
+              in
+              let out = Briefcase.create () in
+              Briefcase.set out "STMT" (statement_wire stmt);
+              Briefcase.set out "SERVICE" ("receipt-for-" ^ tx);
+              Briefcase.set out "FORWARD-HOST" customer_host;
+              Briefcase.set out "FORWARD-AGENT" cust_agent;
+              Kernel.send_briefcase k ~src:merchant_site ~dst:witness_site
+                ~contact:"witness" out)));
+
+  (* customer kicks things off *)
+  let out = Briefcase.create () in
+  Folder.replace (Briefcase.folder out "PAYMENT") (Ecu.wire_list bills);
+  let stmt = sign ~key:ckey ~tx ~action:"pay" ~actor:cname ~amount ~at:(Kernel.now kernel) in
+  Briefcase.set out "STMT" (statement_wire stmt);
+  Briefcase.set out "FORWARD-HOST" merchant_host;
+  Briefcase.set out "FORWARD-AGENT" merch_agent;
+  (match cbehavior with
+  | Honest ->
+    (* route the payment through the witness, as the protocol requires *)
+    Kernel.send_briefcase kernel ~src:customer_site ~dst:witness_site ~contact:"witness" out
+  | Cheat ->
+    (* bypass the witness: the payment is unprovable, and typically made
+       with already-spent bills in the hope the merchant serves first *)
+    Kernel.send_briefcase kernel ~src:customer_site ~dst:merchant_site ~contact:merch_agent
+      out);
+  p

@@ -1,0 +1,26 @@
+(** Electronic currency units (paper §3).
+
+    Following [C92] (Chaum), each unit is "a record containing an amount and
+    a large random number"; only certain random numbers correspond to valid
+    ECUs.  We realise "certain numbers" with a mint signature: an HMAC over
+    amount and serial under the mint's secret key — unforgeable without the
+    key, and carrying no payer/payee information (untraceability). *)
+
+type t = {
+  amount : int;      (** in cents; positive *)
+  serial : string;   (** 32 hex chars, drawn at mint *)
+  signature : string (** 64 hex chars, HMAC-SHA-256 by the mint *)
+}
+
+val wire : t -> string
+(** One-line encoding ["amount:serial:signature"] — what lives in folders
+    and briefcases when money moves between agents. *)
+
+val of_wire : string -> (t, string) result
+
+val of_wire_exn : string -> t
+(** @raise Invalid_argument on malformed input. *)
+
+val wire_list : t list -> string list
+val total : t list -> int
+val pp : Format.formatter -> t -> unit

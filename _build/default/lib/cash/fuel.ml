@@ -1,0 +1,38 @@
+module Kernel = Tacoma_core.Kernel
+module Briefcase = Tacoma_core.Briefcase
+module Folder = Tacoma_core.Folder
+
+let fuel_folder = "FUEL"
+
+let grant mint bc ~cents =
+  if cents > 0 then
+    Folder.enqueue (Briefcase.folder bc fuel_folder) (Ecu.wire (Mint.issue mint ~amount:cents))
+
+let balance bc =
+  Folder.fold
+    (fun acc w -> match Ecu.of_wire w with Ok e -> acc + e.Ecu.amount | Error _ -> acc)
+    0
+    (Briefcase.folder bc fuel_folder)
+
+let install kernel mint ~steps_per_cent ~courtesy =
+  Kernel.set_step_policy kernel
+    (Some
+       (fun bc ->
+         (* drain and redeem: fuel is burned on admission, whether or not
+            the agent uses all of it (cycles are a service, not a loan) *)
+         let folder = Briefcase.folder bc fuel_folder in
+         let rec redeem_all acc =
+           match Folder.pop folder with
+           | None -> acc
+           | Some wire -> (
+             match Ecu.of_wire wire with
+             | Error _ -> redeem_all acc (* junk element: worthless *)
+             | Ok bill -> (
+               match Mint.redeem mint bill with
+               | Ok cents -> redeem_all (acc + cents)
+               | Error _ -> redeem_all acc (* forged or copied: worthless *)))
+         in
+         let cents = redeem_all 0 in
+         Some (courtesy + (cents * steps_per_cent))))
+
+let uninstall kernel = Kernel.set_step_policy kernel None

@@ -1,0 +1,28 @@
+(** Fuel: execution metered by electronic cash (paper §3).
+
+    "We also hoped that electronic cash would provide a mechanism for
+    controlling run-away agents.  Specifically, charging for services would
+    limit possible damage by a run-away agent."
+
+    An agent carries ECUs in its [FUEL] folder.  When a script activation
+    starts, the place drains that folder, redeems the bills at the mint
+    (they leave circulation — cycles were bought), and grants an
+    interpreter step budget of [courtesy + cents * steps_per_cent].
+    Forged, copied or absent fuel buys only the courtesy budget; a run-away
+    agent dies when its budget runs out, and the damage it can do is
+    proportional to the money it carried. *)
+
+val install :
+  Tacoma_core.Kernel.t -> Mint.t -> steps_per_cent:int -> courtesy:int -> unit
+(** Set the kernel's step policy to the mint-backed fuel scheme. *)
+
+val uninstall : Tacoma_core.Kernel.t -> unit
+
+val fuel_folder : string
+(** ["FUEL"]. *)
+
+val grant : Mint.t -> Tacoma_core.Briefcase.t -> cents:int -> unit
+(** Mint fresh bills straight into the briefcase's fuel folder. *)
+
+val balance : Tacoma_core.Briefcase.t -> int
+(** Face value of the bills currently in the fuel folder (unverified). *)

@@ -1,0 +1,33 @@
+(** The trusted validation agent (paper §3).
+
+    Installed at a bank site; other agents meet it (after travelling there —
+    the agent metaphor at work) or call it remotely through the kernel's
+    briefcase messaging.  "An attempt by an agent to spend retired or copied
+    ECUs will be foiled if a validation agent is always consulted before any
+    service is rendered."
+
+    Meet protocol (briefcase folders):
+    - [OP]: ["validate"] | ["split"] | ["merge"]
+    - [ECUS]: input bills in wire form
+    - [PARTS] (split only): the amounts to produce
+    - on return, [STATUS] is ["ok"] (with [ECUS] holding fresh bills) or a
+      failure name with [ECUS] emptied. *)
+
+val agent_name : string
+(** ["validator"]. *)
+
+val install : Tacoma_core.Kernel.t -> site:Netsim.Site.id -> Mint.t -> unit
+(** Registers the [validator] meet agent and the [validator_rpc] remote
+    endpoint at the bank site. *)
+
+val remote_validate :
+  Tacoma_core.Kernel.t ->
+  src:Netsim.Site.id ->
+  bank:Netsim.Site.id ->
+  Ecu.t list ->
+  on_reply:((Ecu.t list, string) result -> unit) ->
+  unit
+(** Round-trip validation over the network: bills travel to the bank in a
+    briefcase, fresh bills (or a failure name) come back.  [on_reply] fires
+    at most once; if the bank is unreachable it never fires — callers
+    needing a timeout arm one on the engine. *)

@@ -1,0 +1,1 @@
+lib/core/bindings.ml: Briefcase Cabinet Folder Option Printf String Tscript

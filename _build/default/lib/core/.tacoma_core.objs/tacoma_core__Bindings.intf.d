@@ -1,0 +1,1 @@
+lib/core/bindings.mli: Briefcase Cabinet Tscript

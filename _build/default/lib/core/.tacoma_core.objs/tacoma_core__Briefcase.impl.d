@@ -1,0 +1,1 @@
+lib/core/briefcase.ml: Buffer Codec Folder Format Hashtbl List Option Printf String

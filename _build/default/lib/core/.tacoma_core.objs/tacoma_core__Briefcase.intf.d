@@ -1,0 +1,1 @@
+lib/core/briefcase.mli: Folder Format

@@ -1,0 +1,1 @@
+lib/core/cabinet.ml: Hashtbl List Option String

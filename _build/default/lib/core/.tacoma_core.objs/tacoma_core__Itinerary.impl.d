@@ -1,0 +1,1 @@
+lib/core/itinerary.ml: Folder Kernel List Netsim

@@ -1,0 +1,1 @@
+lib/core/itinerary.mli: Folder Kernel Netsim

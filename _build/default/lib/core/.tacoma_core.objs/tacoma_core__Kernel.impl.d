@@ -1,0 +1,1 @@
+lib/core/kernel.ml: Array Bindings Briefcase Cabinet Codec Effect Folder Hashtbl Horus List Netsim Option Prelude Printexc Printf String Tacoma_util Tscript

@@ -1,0 +1,1 @@
+lib/core/kernel.mli: Briefcase Cabinet Horus Netsim Tacoma_util

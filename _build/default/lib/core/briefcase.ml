@@ -1,0 +1,75 @@
+type t = (string, Folder.t) Hashtbl.t
+
+let host_folder = "HOST"
+let contact_folder = "CONTACT"
+let code_folder = "CODE"
+let sites_folder = "SITES"
+
+let create () : t = Hashtbl.create 8
+
+let folder t name =
+  match Hashtbl.find_opt t name with
+  | Some f -> f
+  | None ->
+    let f = Folder.create () in
+    Hashtbl.replace t name f;
+    f
+
+let folder_opt t name = Hashtbl.find_opt t name
+let mem t name = Hashtbl.mem t name
+let remove t name = Hashtbl.remove t name
+let names t = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t [])
+
+let copy t =
+  let c = Hashtbl.create (Hashtbl.length t) in
+  Hashtbl.iter (fun name f -> Hashtbl.replace c name (Folder.copy f)) t;
+  c
+
+let clear t = Hashtbl.reset t
+
+let set t name v = Folder.replace (folder t name) [ v ]
+let get t name = Option.bind (folder_opt t name) Folder.peek
+
+let get_exn t name =
+  match get t name with Some v -> v | None -> raise Not_found
+
+let byte_size t =
+  (* mirrors [serialize]: 4-byte folder count, then per folder the encoded
+     name and encoded element list *)
+  Hashtbl.fold
+    (fun name f acc ->
+      acc + Codec.encoded_size name + 4
+      + Folder.fold (fun a e -> a + Codec.encoded_size e) 0 f)
+    t 4
+
+(* 4-byte folder count, then folders in name order for deterministic wires *)
+let serialize t =
+  let names_sorted = names t in
+  let buf = Buffer.create 256 in
+  Codec.encode_u32 buf (List.length names_sorted);
+  List.iter
+    (fun name ->
+      Codec.encode_string buf name;
+      Codec.encode_strings buf (Folder.to_list (folder t name)))
+    names_sorted;
+  Buffer.contents buf
+
+let deserialize s =
+  let r = Codec.reader s in
+  let t = create () in
+  let n = Codec.read_u32 r in
+  for _ = 1 to n do
+    let name = Codec.read_string r in
+    let elems = Codec.read_strings r in
+    Folder.replace (folder t name) elems
+  done;
+  t
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun name ->
+      Format.fprintf fmt "%s: [%s]@," name
+        (String.concat "; " (List.map (Printf.sprintf "%S") (Folder.to_list (folder t name)))))
+    (names t);
+  Format.fprintf fmt "@]"

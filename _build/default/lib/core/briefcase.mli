@@ -1,0 +1,60 @@
+(** Briefcases (paper §2): the named-folder collection that accompanies an
+    agent so "its future actions can depend on its past ones".
+
+    A briefcase is also the argument list of a {e meet}: "the specified
+    briefcase is analogous to an argument list (with each folder containing
+    the value of one argument)". *)
+
+type t
+
+(** Conventional folder names from the paper: ["HOST"] (destination site for
+    [rexec]), ["CONTACT"] (agent to execute there), ["CODE"] (agent source
+    text), ["SITES"] (visited sites, for [diffusion]). *)
+
+val host_folder : string
+
+val contact_folder : string
+
+val code_folder : string
+
+val sites_folder : string
+
+val create : unit -> t
+
+val folder : t -> string -> Folder.t
+(** The named folder, created empty on first access. *)
+
+val folder_opt : t -> string -> Folder.t option
+val mem : t -> string -> bool
+val remove : t -> string -> unit
+val names : t -> string list
+(** Sorted. *)
+
+val copy : t -> t
+(** Deep copy: cloning an agent must not alias its folders. *)
+
+val clear : t -> unit
+
+(** {1 Single-value convenience}
+
+    Many protocol folders hold exactly one element (HOST, CONTACT ...). *)
+
+val set : t -> string -> string -> unit
+(** Replace the folder's contents with one element. *)
+
+val get : t -> string -> string option
+(** Head element of the folder, if any. *)
+
+val get_exn : t -> string -> string
+(** @raise Not_found when the folder is absent or empty. *)
+
+(** {1 Wire format} *)
+
+val byte_size : t -> int
+(** Exact serialised size: what migration costs on the network. *)
+
+val serialize : t -> string
+val deserialize : string -> t
+(** @raise Codec.Malformed on corrupt input. *)
+
+val pp : Format.formatter -> t -> unit

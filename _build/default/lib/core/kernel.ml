@@ -1,0 +1,562 @@
+module Net = Netsim.Net
+module Engine = Netsim.Engine
+module Rng = Tacoma_util.Rng
+
+type transport = Rsh | Tcp | Horus
+
+let transport_of_string s =
+  match String.lowercase_ascii s with
+  | "rsh" -> Some Rsh
+  | "tcp" -> Some Tcp
+  | "horus" -> Some Horus
+  | _ -> None
+
+let transport_name = function Rsh -> "rsh" | Tcp -> "tcp" | Horus -> "horus"
+
+type config = {
+  default_transport : transport;
+  step_limit : int option;
+  prelude : string;
+  migration_overhead : int;
+  rsh_spawn_delay : float;
+  rsh_extra_bytes : int;
+  tcp_handshake_bytes : int;
+  tcp_extra_bytes : int;
+  horus_extra_bytes : int;
+  horus_ack_bytes : int;
+  horus_rto : float;
+  horus_max_attempts : int;
+  horus_group : bool;
+}
+
+(* The rsh numbers model spawning a fresh interpreter per hop (fork/exec +
+   login) as the first TACOMA prototype did; tcp models a cached connection
+   with a 3-way handshake on first use; horus adds acks and retransmission. *)
+let default_config =
+  {
+    default_transport = Tcp;
+    step_limit = Some 2_000_000;
+    prelude = Prelude.standard;
+    migration_overhead = 128;
+    rsh_spawn_delay = 0.25;
+    rsh_extra_bytes = 1024;
+    tcp_handshake_bytes = 192;
+    tcp_extra_bytes = 64;
+    horus_extra_bytes = 256;
+    horus_ack_bytes = 64;
+    horus_rto = 1.0;
+    horus_max_attempts = 5;
+    horus_group = false;
+  }
+
+exception Agent_error of string
+exception Aborted of string
+
+type place = { mutable epoch : int; mutable cab : Cabinet.t }
+
+type ack_state = {
+  mutable attempts : int;
+  ack_src : int;
+  ack_dst : int;
+  ack_size : int;
+  ack_payload : Netsim.Message.payload;
+  mutable ack_timer : Engine.timer option;
+}
+
+type t = {
+  net : Net.t;
+  cfg : config;
+  places : place array;
+  global_natives : (string, native) Hashtbl.t;
+  site_natives : (int * string, native) Hashtbl.t;
+  global_scripts : (string, string) Hashtbl.t;
+  site_scripts : (int * string, string) Hashtbl.t;
+  name_to_site : (string, int) Hashtbl.t;
+  connections : (int * int, unit) Hashtbl.t;
+  pending_acks : (int, ack_state) Hashtbl.t;
+  mutable mid_counter : int;
+  rng : Rng.t;
+  mutable stat_migrations : int;
+  mutable stat_activations : int;
+  mutable stat_deaths : int;
+  mutable stat_completions : int;
+  mutable death_hooks : (site:Netsim.Site.id -> agent:string -> reason:string -> unit) list;
+  mutable complete_hooks : (site:Netsim.Site.id -> agent:string -> unit) list;
+  mutable group : Horus.Group.t option;
+  mutable step_policy : (Briefcase.t -> int option) option;
+  activity_tbl : (string, activity_cell) Hashtbl.t;
+}
+
+and activity_cell = {
+  mutable c_activations : int;
+  mutable c_completions : int;
+  mutable c_deaths : int;
+}
+
+and ctx = { kernel : t; site : Netsim.Site.id; self : string }
+and native = ctx -> Briefcase.t -> unit
+
+type Netsim.Message.payload +=
+  | Migration of { mid : int; contact : string; bc_wire : string; needs_ack : bool }
+  | Migration_ack of { mid : int }
+
+type _ Effect.t += Sleep_eff : float -> unit Effect.t
+
+let net t = t.net
+let config t = t.cfg
+let now t = Net.now t.net
+let rng t = t.rng
+let site_named t name = Hashtbl.find_opt t.name_to_site name
+let site_name t site = Netsim.Topology.site_name (Net.topology t.net) site
+let cabinet t site = t.places.(site).cab
+
+let neighbor_names t site = List.map (site_name t) (Net.neighbors t.net site)
+
+let trace t kind detail = Netsim.Trace.add (Net.trace t.net) ~time:(now t) kind detail
+
+(* ---- agent registry ------------------------------------------------------ *)
+
+let register_native t ?site name fn =
+  match site with
+  | None -> Hashtbl.replace t.global_natives name fn
+  | Some s -> Hashtbl.replace t.site_natives (s, name) fn
+
+let install_script t ?site name ~code =
+  match site with
+  | None -> Hashtbl.replace t.global_scripts name code
+  | Some s -> Hashtbl.replace t.site_scripts (s, name) code
+
+type resolved = Rnative of native | Rscript of string
+
+let resolve t site name =
+  match Hashtbl.find_opt t.site_natives (site, name) with
+  | Some fn -> Some (Rnative fn)
+  | None -> (
+    match Hashtbl.find_opt t.global_natives name with
+    | Some fn -> Some (Rnative fn)
+    | None -> (
+      match Hashtbl.find_opt t.site_scripts (site, name) with
+      | Some code -> Some (Rscript code)
+      | None -> (
+        match Hashtbl.find_opt t.global_scripts name with
+        | Some code -> Some (Rscript code)
+        | None -> None)))
+
+let agent_exists t site name = Option.is_some (resolve t site name)
+
+(* ---- script execution ----------------------------------------------------- *)
+
+let sleep (_ : ctx) dur = Effect.perform (Sleep_eff dur)
+
+let transmit t ~src ~dst ~size payload = Net.send t.net ~src ~dst ~size payload
+
+let send_briefcase t ~src ~dst ~contact bc =
+  let wire = Briefcase.serialize bc in
+  transmit t ~src ~dst
+    ~size:(String.length wire + t.cfg.migration_overhead)
+    (Migration { mid = 0; contact; bc_wire = wire; needs_ack = false })
+
+let rec meet ctx name bc =
+  match resolve ctx.kernel ctx.site name with
+  | None -> raise (Agent_error (Printf.sprintf "meet: no agent %S at %s" name (site_name ctx.kernel ctx.site)))
+  | Some (Rnative fn) -> fn { ctx with self = name } bc
+  | Some (Rscript code) -> run_code { ctx with self = name } ~code bc
+
+and run_code ctx ~code bc =
+  let t = ctx.kernel in
+  let step_limit =
+    match t.step_policy with
+    | Some policy -> (
+      match policy bc with Some budget -> Some budget | None -> t.cfg.step_limit)
+    | None -> t.cfg.step_limit
+  in
+  let it = Tscript.Interp.create ?step_limit () in
+  let host =
+    {
+      Bindings.site_name = (fun () -> site_name t ctx.site);
+      self = (fun () -> ctx.self);
+      now = (fun () -> now t);
+      neighbors = (fun () -> neighbor_names t ctx.site);
+      meet =
+        (fun name ->
+          try meet ctx name bc
+          with Agent_error msg -> raise (Tscript.Interp.Error_exc msg));
+      sleep = (fun d -> sleep ctx d);
+      log = (fun msg -> trace t Netsim.Trace.Agent (Printf.sprintf "%s@%s: %s" ctx.self (site_name t ctx.site) msg));
+      random_int = (fun n -> Rng.int t.rng n);
+      cabinet = cabinet t ctx.site;
+      code = (fun () -> code);
+      dispatch =
+        (fun ~host ~contact ->
+          match site_named t host with
+          | Some dst -> send_briefcase t ~src:ctx.site ~dst ~contact (Briefcase.copy bc)
+          | None ->
+            raise
+              (Tscript.Interp.Error_exc (Printf.sprintf "dispatch: unknown host %S" host)));
+    }
+  in
+  Bindings.install host bc it;
+  (if t.cfg.prelude <> "" then
+     match Tscript.Interp.eval it t.cfg.prelude with
+     | Ok _ -> ()
+     | Error msg -> raise (Agent_error (Printf.sprintf "prelude: %s" msg)));
+  match Tscript.Interp.eval it code with
+  | Ok _ -> ()
+  | Error msg -> raise (Agent_error (Printf.sprintf "%s: %s" ctx.self msg))
+
+(* ---- activations ----------------------------------------------------------- *)
+
+let activity_cell t agent =
+  match Hashtbl.find_opt t.activity_tbl agent with
+  | Some c -> c
+  | None ->
+    let c = { c_activations = 0; c_completions = 0; c_deaths = 0 } in
+    Hashtbl.replace t.activity_tbl agent c;
+    c
+
+let run_hooks_death t ~site ~agent ~reason =
+  t.stat_deaths <- t.stat_deaths + 1;
+  (activity_cell t agent).c_deaths <- (activity_cell t agent).c_deaths + 1;
+  trace t Netsim.Trace.Agent (Printf.sprintf "death of %s@%s: %s" agent (site_name t site) reason);
+  List.iter (fun h -> h ~site ~agent ~reason) (List.rev t.death_hooks)
+
+let run_hooks_complete t ~site ~agent =
+  t.stat_completions <- t.stat_completions + 1;
+  (activity_cell t agent).c_completions <- (activity_cell t agent).c_completions + 1;
+  List.iter (fun h -> h ~site ~agent) (List.rev t.complete_hooks)
+
+let reason_of_exn = function
+  | Agent_error m -> "agent error: " ^ m
+  | Aborted m -> "aborted: " ^ m
+  | Tscript.Interp.Resource_exhausted -> "resource exhausted"
+  | e -> "exception: " ^ Printexc.to_string e
+
+let run_activation t ~site ~contact bc =
+  t.stat_activations <- t.stat_activations + 1;
+  (activity_cell t contact).c_activations <- (activity_cell t contact).c_activations + 1;
+  let ctx = { kernel = t; site; self = contact } in
+  let open Effect.Deep in
+  match_with
+    (fun () -> meet ctx contact bc)
+    ()
+    {
+      retc = (fun () -> run_hooks_complete t ~site ~agent:contact);
+      exnc = (fun e -> run_hooks_death t ~site ~agent:contact ~reason:(reason_of_exn e));
+      effc =
+        (fun (type b) (eff : b Effect.t) ->
+          match eff with
+          | Sleep_eff dur ->
+            Some
+              (fun (k : (b, unit) continuation) ->
+                let epoch = t.places.(site).epoch in
+                ignore
+                  (Net.schedule t.net ~after:dur (fun () ->
+                       if Net.site_up t.net site && t.places.(site).epoch = epoch then
+                         continue k ()
+                       else discontinue k (Aborted "site crashed"))))
+          | _ -> None);
+    }
+
+let launch t ~site ~contact bc =
+  ignore
+    (Net.schedule t.net ~after:0.0 (fun () ->
+         if Net.site_up t.net site then run_activation t ~site ~contact bc))
+
+(* ---- migration -------------------------------------------------------------- *)
+
+
+let rec horus_retry t st mid =
+  (* abort early when the kernel group's view already excludes the target *)
+  let believed_dead =
+    match t.group with
+    | None -> false
+    | Some g -> (
+      match Horus.Group.view_at g st.ack_src with
+      | Some v -> not (Horus.View.mem v st.ack_dst)
+      | None -> false)
+  in
+  if st.attempts >= t.cfg.horus_max_attempts || believed_dead then begin
+    Hashtbl.remove t.pending_acks mid;
+    trace t Netsim.Trace.Drop
+      (Printf.sprintf "horus rexec %d to site-%d gave up after %d attempts" mid st.ack_dst
+         st.attempts)
+  end
+  else begin
+    st.attempts <- st.attempts + 1;
+    if Net.site_up t.net st.ack_src then
+      transmit t ~src:st.ack_src ~dst:st.ack_dst ~size:st.ack_size st.ack_payload;
+    st.ack_timer <-
+      Some
+        (Net.schedule t.net ~after:(t.cfg.horus_rto *. float_of_int st.attempts) (fun () ->
+             if Hashtbl.mem t.pending_acks mid then horus_retry t st mid))
+  end
+
+let migrate t ~src ~dst ~contact ~transport bc =
+  t.stat_migrations <- t.stat_migrations + 1;
+  let wire = Briefcase.serialize bc in
+  let base = String.length wire + t.cfg.migration_overhead in
+  trace t Netsim.Trace.Agent
+    (Printf.sprintf "rexec %s: %s -> %s contact=%s (%d bytes)" (transport_name transport)
+       (site_name t src) (site_name t dst) contact base);
+  match transport with
+  | Rsh ->
+    (* a fresh interpreter is spawned remotely before the agent can move *)
+    ignore
+      (Net.schedule t.net ~after:t.cfg.rsh_spawn_delay (fun () ->
+           if Net.site_up t.net src then
+             transmit t ~src ~dst
+               ~size:(base + t.cfg.rsh_extra_bytes)
+               (Migration { mid = 0; contact; bc_wire = wire; needs_ack = false })))
+  | Tcp ->
+    let fresh = not (Hashtbl.mem t.connections (src, dst)) in
+    if fresh then Hashtbl.replace t.connections (src, dst) ();
+    let size = base + t.cfg.tcp_extra_bytes + (if fresh then t.cfg.tcp_handshake_bytes else 0) in
+    transmit t ~src ~dst ~size (Migration { mid = 0; contact; bc_wire = wire; needs_ack = false })
+  | Horus ->
+    let mid = t.mid_counter in
+    t.mid_counter <- mid + 1;
+    let payload = Migration { mid; contact; bc_wire = wire; needs_ack = true } in
+    let st =
+      {
+        attempts = 0;
+        ack_src = src;
+        ack_dst = dst;
+        ack_size = base + t.cfg.horus_extra_bytes;
+        ack_payload = payload;
+        ack_timer = None;
+      }
+    in
+    Hashtbl.replace t.pending_acks mid st;
+    horus_retry t st mid
+
+
+(* ---- incoming messages ------------------------------------------------------- *)
+
+let seen_mid_window = 4096
+
+let handle_message t site seen (msg : Netsim.Message.t) =
+  match msg.payload with
+  | Migration { mid; contact; bc_wire; needs_ack } ->
+    let duplicate = needs_ack && Hashtbl.mem seen mid in
+    if needs_ack then begin
+      (* ack even duplicates: the first ack may have been lost *)
+      transmit t ~src:site ~dst:msg.src ~size:t.cfg.horus_ack_bytes (Migration_ack { mid });
+      if Hashtbl.length seen > seen_mid_window then Hashtbl.reset seen;
+      Hashtbl.replace seen mid ()
+    end;
+    if not duplicate then begin
+      match Briefcase.deserialize bc_wire with
+      | bc -> run_activation t ~site ~contact bc
+      | exception Codec.Malformed reason ->
+        run_hooks_death t ~site ~agent:contact ~reason:("corrupt briefcase: " ^ reason)
+    end
+  | Migration_ack { mid } -> (
+    match Hashtbl.find_opt t.pending_acks mid with
+    | Some st ->
+      (match st.ack_timer with Some timer -> Engine.cancel timer | None -> ());
+      Hashtbl.remove t.pending_acks mid
+    | None -> ())
+  | _ -> ()
+
+(* ---- system agents (paper §2 and §6) ------------------------------------------ *)
+
+let get_folder_exn bc name what =
+  match Briefcase.get bc name with
+  | Some v -> v
+  | None -> raise (Agent_error (Printf.sprintf "%s: missing %s folder" what name))
+
+let rexec_agent ctx bc =
+  let t = ctx.kernel in
+  let host = get_folder_exn bc Briefcase.host_folder "rexec" in
+  let contact = get_folder_exn bc Briefcase.contact_folder "rexec" in
+  let dst =
+    match site_named t host with
+    | Some s -> s
+    | None -> raise (Agent_error (Printf.sprintf "rexec: unknown host %S" host))
+  in
+  let transport =
+    match Briefcase.get bc "TRANSPORT" with
+    | None -> t.cfg.default_transport
+    | Some s -> (
+      match transport_of_string s with
+      | Some tr -> tr
+      | None -> raise (Agent_error (Printf.sprintf "rexec: unknown transport %S" s)))
+  in
+  migrate t ~src:ctx.site ~dst ~contact ~transport (Briefcase.copy bc)
+
+let ag_script_agent ctx bc =
+  match Folder.pop (Briefcase.folder bc Briefcase.code_folder) with
+  | Some code -> run_code ctx ~code bc
+  | None -> raise (Agent_error "ag_script: empty CODE folder")
+
+let ag_shell_agent ctx bc =
+  (* drain CODE, executing each element in order, like a shell session *)
+  let folder = Briefcase.folder bc Briefcase.code_folder in
+  let rec go () =
+    match Folder.pop folder with
+    | None -> ()
+    | Some code ->
+      run_code ctx ~code bc;
+      go ()
+  in
+  go ()
+
+let courier_agent ctx bc =
+  let t = ctx.kernel in
+  let host = get_folder_exn bc Briefcase.host_folder "courier" in
+  let contact = get_folder_exn bc Briefcase.contact_folder "courier" in
+  let fname = get_folder_exn bc "FOLDER" "courier" in
+  let dst =
+    match site_named t host with
+    | Some s -> s
+    | None -> raise (Agent_error (Printf.sprintf "courier: unknown host %S" host))
+  in
+  let out = Briefcase.create () in
+  Folder.replace (Briefcase.folder out fname) (Folder.to_list (Briefcase.folder bc fname));
+  Briefcase.set out "FOLDER" fname;
+  Briefcase.set out "FROM" (site_name t ctx.site);
+  send_briefcase t ~src:ctx.site ~dst ~contact out
+
+let diffusion_agent ctx bc =
+  let t = ctx.kernel in
+  let contact = get_folder_exn bc Briefcase.contact_folder "diffusion" in
+  (* §2's flooding refinement: record the visit in a site-local folder and
+     terminate instead of re-executing when clones arrive over two paths of
+     a cyclic graph.  The tag defaults to the contact name so independent
+     diffusions do not block each other. *)
+  let tag = Option.value ~default:contact (Briefcase.get bc "DIFFUSION-ID") in
+  let cab = cabinet t ctx.site in
+  if not (Cabinet.contains cab "DIFFUSED" tag) then begin
+    Cabinet.put cab "DIFFUSED" tag;
+    (* execute the specified agent locally *)
+    meet ctx contact bc;
+    let here = site_name t ctx.site in
+    let visited = Briefcase.folder bc Briefcase.sites_folder in
+    if not (Folder.contains visited here) then Folder.enqueue visited here;
+    (* clone to the set difference of the site-local SITES folder and the
+       briefcase SITES folder (paper §2) *)
+    let local_sites = Cabinet.elements (cabinet t ctx.site) Briefcase.sites_folder in
+    let targets = List.filter (fun s -> not (Folder.contains visited s)) local_sites in
+    (* pre-mark all targets so sibling clones do not re-flood each other *)
+    List.iter (fun s -> Folder.enqueue visited s) targets;
+    let transport =
+      match Option.bind (Briefcase.get bc "TRANSPORT") transport_of_string with
+      | Some tr -> tr
+      | None -> t.cfg.default_transport
+    in
+    List.iter
+      (fun sname ->
+        match site_named t sname with
+        | Some dst ->
+          migrate t ~src:ctx.site ~dst ~contact:"diffusion" ~transport (Briefcase.copy bc)
+        | None -> ())
+      targets
+  end
+
+let filer_agent ctx bc =
+  (* deposit every folder's elements into same-named cabinet folders; the
+     standard recipient for courier transfers and agent mail *)
+  let cab = cabinet ctx.kernel ctx.site in
+  List.iter
+    (fun name ->
+      if name <> "FOLDER" && name <> "FROM" && name <> Briefcase.contact_folder
+         && name <> Briefcase.host_folder then
+        Folder.iter (fun e -> Cabinet.put cab name e) (Briefcase.folder bc name))
+    (Briefcase.names bc)
+
+let install_system_agents t =
+  register_native t "rexec" rexec_agent;
+  register_native t "ag_script" ag_script_agent;
+  register_native t "ag_shell" ag_shell_agent;
+  register_native t "courier" courier_agent;
+  register_native t "diffusion" diffusion_agent;
+  register_native t "filer" filer_agent;
+  register_native t "noop" (fun _ _ -> ())
+
+(* ---- place lifecycle ------------------------------------------------------------ *)
+
+let seed_sites_folder t site =
+  Cabinet.replace (cabinet t site) Briefcase.sites_folder (neighbor_names t site)
+
+let arm_site t site =
+  let seen = Hashtbl.create 32 in
+  Net.set_handler t.net site ~key:"tacoma" (handle_message t site seen)
+
+let create ?(config = default_config) net =
+  let topo = Net.topology net in
+  let n = Netsim.Topology.site_count topo in
+  let t =
+    {
+      net;
+      cfg = config;
+      places = Array.init n (fun _ -> { epoch = 0; cab = Cabinet.create () });
+      global_natives = Hashtbl.create 32;
+      site_natives = Hashtbl.create 32;
+      global_scripts = Hashtbl.create 32;
+      site_scripts = Hashtbl.create 32;
+      name_to_site = Hashtbl.create n;
+      connections = Hashtbl.create 32;
+      pending_acks = Hashtbl.create 32;
+      mid_counter = 1;
+      rng = Rng.split (Net.rng net);
+      stat_migrations = 0;
+      stat_activations = 0;
+      stat_deaths = 0;
+      stat_completions = 0;
+      death_hooks = [];
+      complete_hooks = [];
+      group = None;
+      step_policy = None;
+      activity_tbl = Hashtbl.create 32;
+    }
+  in
+  List.iter
+    (fun site -> Hashtbl.replace t.name_to_site (Netsim.Topology.site_name topo site) site)
+    (Netsim.Topology.sites topo);
+  install_system_agents t;
+  List.iter
+    (fun site ->
+      arm_site t site;
+      seed_sites_folder t site;
+      Net.on_crash net site (fun () ->
+          (* volatile kernel state tied to this site dies with it *)
+          Hashtbl.iter
+            (fun (a, b) () -> if a = site || b = site then Hashtbl.remove t.connections (a, b))
+            (Hashtbl.copy t.connections));
+      Net.on_restart net site (fun () ->
+          let place = t.places.(site) in
+          place.epoch <- place.epoch + 1;
+          place.cab <- Cabinet.recover place.cab;
+          seed_sites_folder t site;
+          arm_site t site;
+          match t.group with Some g -> Horus.Group.rejoin g site | None -> ()))
+    (Netsim.Topology.sites topo);
+  if config.horus_group then
+    t.group <- Some (Horus.Group.create net ~name:"tacoma" ~members:(Netsim.Topology.sites topo));
+  t
+
+(* ---- stats ------------------------------------------------------------------------ *)
+
+let migrations t = t.stat_migrations
+let activations t = t.stat_activations
+let deaths t = t.stat_deaths
+let completions t = t.stat_completions
+type agent_activity = { a_activations : int; a_completions : int; a_deaths : int }
+
+let activity t =
+  Hashtbl.fold
+    (fun name c acc ->
+      ( name,
+        {
+          a_activations = c.c_activations;
+          a_completions = c.c_completions;
+          a_deaths = c.c_deaths;
+        } )
+      :: acc)
+    t.activity_tbl []
+  |> List.sort compare
+
+let set_step_policy t p = t.step_policy <- p
+let on_death t h = t.death_hooks <- h :: t.death_hooks
+let on_complete t h = t.complete_hooks <- h :: t.complete_hooks
+let horus_group t = t.group

@@ -1,0 +1,161 @@
+(** The TACOMA kernel: one place per site, the [meet] operation, and
+    restart-style agent migration over the simulated network.
+
+    Execution model (faithful to the paper):
+    - an {e agent} is a named piece of code — a native OCaml handler or a
+      TScript source — installed at a place or carried in a CODE folder;
+    - [meet] executes the named agent {e at the current site} with a
+      briefcase as its argument list; the caller resumes when the target
+      terminates the meet;
+    - migration is performed by meeting the [rexec] system agent
+      ({!Sysagents}), which ships the briefcase (including CODE) to the
+      HOST site and executes the CONTACT agent there — the source-side
+      computation simply ends, and the persistent state travels in the
+      briefcase;
+    - long-running behaviour (simulated compute, rear-guard timers) uses
+      {!sleep}, implemented with OCaml effects so that a whole meet stack
+      suspends and a site crash kills suspended activations. *)
+
+type t
+
+type transport = Rsh | Tcp | Horus
+(** The three [rexec] implementations of paper §6: spawn-per-hop [rsh],
+    connection-caching [Tcp], and reliable (ack + retransmit, failure-
+    detecting) [Horus]. *)
+
+val transport_of_string : string -> transport option
+val transport_name : transport -> string
+
+type config = {
+  default_transport : transport;
+  step_limit : int option;     (** per-activation interpreter budget *)
+  prelude : string;            (** TScript evaluated before every script
+                                   agent (default {!Prelude.standard};
+                                   [""] disables) *)
+  migration_overhead : int;    (** framing bytes added to every migration *)
+  rsh_spawn_delay : float;     (** remote interpreter spawn cost, seconds *)
+  rsh_extra_bytes : int;
+  tcp_handshake_bytes : int;   (** first use of a (src,dst) connection *)
+  tcp_extra_bytes : int;
+  horus_extra_bytes : int;
+  horus_ack_bytes : int;
+  horus_rto : float;           (** retransmission timeout, seconds *)
+  horus_max_attempts : int;
+  horus_group : bool;          (** maintain the kernel-wide Horus group *)
+}
+
+val default_config : config
+
+exception Agent_error of string
+(** Protocol-level failure of an agent (missing folder, unknown agent,
+    script error).  Propagates up the meet chain; a script-level [catch]
+    in a calling agent traps it. *)
+
+exception Aborted of string
+(** The activation was killed from outside (site crash). *)
+
+type ctx = { kernel : t; site : Netsim.Site.id; self : string }
+(** Execution context handed to native agents. *)
+
+type native = ctx -> Briefcase.t -> unit
+(** Native agents mutate the briefcase in place; the mutated briefcase is
+    what the caller of [meet] observes afterwards. *)
+
+val create : ?config:config -> Netsim.Net.t -> t
+(** Builds a place on every site, installs the {!Sysagents} system agents,
+    and arms crash/restart hooks (a restarted place recovers only the
+    flushed part of its cabinet). *)
+
+val net : t -> Netsim.Net.t
+val config : t -> config
+val now : t -> float
+val rng : t -> Tacoma_util.Rng.t
+
+(** {1 Sites} *)
+
+val site_named : t -> string -> Netsim.Site.id option
+val site_name : t -> Netsim.Site.id -> string
+val cabinet : t -> Netsim.Site.id -> Cabinet.t
+(** The site's file cabinet.  After a crash this is a fresh recovery. *)
+
+val neighbor_names : t -> Netsim.Site.id -> string list
+
+(** {1 Agents} *)
+
+val register_native : t -> ?site:Netsim.Site.id -> string -> native -> unit
+(** Without [site], available at every place (system-agent style),
+    including places rebuilt after a crash. *)
+
+val install_script : t -> ?site:Netsim.Site.id -> string -> code:string -> unit
+(** Install a TScript agent under a well-known name. *)
+
+val agent_exists : t -> Netsim.Site.id -> string -> bool
+
+(** {1 Execution} *)
+
+val meet : ctx -> string -> Briefcase.t -> unit
+(** The meet operation.  Executes the named agent at [ctx.site],
+    synchronously.  @raise Agent_error if the agent is unknown. *)
+
+val launch : t -> site:Netsim.Site.id -> contact:string -> Briefcase.t -> unit
+(** Start a fresh top-level activation (scheduled immediately).  Launching
+    at a down site is a silent no-op. *)
+
+val sleep : ctx -> float -> unit
+(** Suspend the current activation for simulated seconds.  Only callable
+    from inside an activation.  @raise Aborted when the site crashes while
+    suspended. *)
+
+val run_code : ctx -> code:string -> Briefcase.t -> unit
+(** Execute TScript source as the current agent (used by [ag_script] and
+    installed script agents).  @raise Agent_error on script errors. *)
+
+val set_step_policy : t -> (Briefcase.t -> int option) option -> unit
+(** Admission policy for script activations: called with the incoming
+    briefcase, it returns the interpreter step budget ([None] = fall back
+    to [config.step_limit]).  This is the hook the electronic-cash fuel
+    scheme plugs into (paper §3: "charging for services would limit
+    possible damage by a run-away agent") — see [Cash.Fuel]. *)
+
+val migrate :
+  t ->
+  src:Netsim.Site.id ->
+  dst:Netsim.Site.id ->
+  contact:string ->
+  transport:transport ->
+  Briefcase.t ->
+  unit
+(** Ship a copy of the briefcase to [dst] and execute [contact] there.
+    Asynchronous; cost and reliability depend on [transport]. *)
+
+(** {1 Messaging below rexec}
+
+    Used by substrate libraries (brokers, guards) that need raw kernel
+    messaging with byte accounting but not code shipping. *)
+
+val send_briefcase :
+  t -> src:Netsim.Site.id -> dst:Netsim.Site.id -> contact:string -> Briefcase.t -> unit
+(** One-way: deliver the briefcase to [contact] at [dst] over the plain
+    network (no spawn cost, no handshake, no ack). *)
+
+(** {1 Introspection} *)
+
+val migrations : t -> int
+val activations : t -> int
+val deaths : t -> int
+val completions : t -> int
+
+type agent_activity = {
+  a_activations : int;
+  a_completions : int;
+  a_deaths : int;
+}
+
+val activity : t -> (string * agent_activity) list
+(** Per-agent-name accounting across the whole run, sorted by name. *)
+
+val on_death : t -> (site:Netsim.Site.id -> agent:string -> reason:string -> unit) -> unit
+val on_complete : t -> (site:Netsim.Site.id -> agent:string -> unit) -> unit
+
+val horus_group : t -> Horus.Group.t option
+(** The kernel-wide group when [config.horus_group] is set. *)

@@ -1,0 +1,44 @@
+let standard = {|
+# --- TACOMA standard agent library (evaluated before agent code) ---------
+
+# re-ship this agent's own source and move to SITE; the current activation
+# continues after the jump and normally just ends
+proc travel {site {contact ag_script}} {
+  folder set CODE [selfcode]
+  jump $site $contact
+}
+
+# the flooding pattern of paper section 2: record visits in a site-local
+# folder and test it before doing work again
+proc visited {tag} { cabinet contains VISITED $tag }
+proc mark_visited {tag} { cabinet put VISITED $tag }
+
+# durable site-local notes (flushed: they survive a crash of this site)
+proc remember {key value} {
+  cabinet kvset NOTES $key $value
+  cabinet flush NOTES
+}
+proc recall {key} { cabinet kvget NOTES $key }
+
+# append several values to a briefcase folder
+proc carry {fname args} {
+  foreach v $args { folder put $fname $v }
+}
+
+# courier a folder of the current briefcase to an agent elsewhere
+proc send_folder {site agent fname} {
+  folder set HOST $site
+  folder set CONTACT $agent
+  folder set FOLDER $fname
+  meet courier
+}
+
+# neighbours of this site not yet recorded in the briefcase SITES folder
+proc unvisited_neighbors {} {
+  set out {}
+  foreach n [neighbors] {
+    if {![folder contains SITES $n]} { lappend out $n }
+  }
+  return $out
+}
+|}

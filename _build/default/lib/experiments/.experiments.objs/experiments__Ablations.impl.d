@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Broker E1_bandwidth E5_broker Float Fun Guard List Netsim Printf String Table Tacoma_core Tacoma_util

@@ -1,0 +1,1 @@
+lib/experiments/e1_bandwidth.ml: Baseline Float List Netsim Printf String Table Tacoma_core

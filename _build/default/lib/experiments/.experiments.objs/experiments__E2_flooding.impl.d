@@ -1,0 +1,1 @@
+lib/experiments/e2_flooding.ml: Array Hashtbl List Netsim Queue Table Tacoma_core Tacoma_util

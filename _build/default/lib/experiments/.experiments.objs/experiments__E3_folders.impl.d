@@ -1,0 +1,1 @@
+lib/experiments/e3_folders.ml: Float List Printf String Sys Table Tacoma_core

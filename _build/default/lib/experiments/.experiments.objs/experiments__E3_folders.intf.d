@@ -1,0 +1,1 @@
+lib/experiments/e3_folders.mli: Format

@@ -1,0 +1,1 @@
+lib/experiments/e4_cash.ml: Cash List Netsim Printf Table Tacoma_core Tacoma_util

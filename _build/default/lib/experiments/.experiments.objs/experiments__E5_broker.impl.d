@@ -1,0 +1,1 @@
+lib/experiments/e5_broker.ml: Broker Hashtbl List Netsim Printf Table Tacoma_core Tacoma_util

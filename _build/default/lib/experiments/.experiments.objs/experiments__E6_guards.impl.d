@@ -1,0 +1,1 @@
+lib/experiments/e6_guards.ml: Fun Guard Hashtbl Int64 List Netsim Printf Table Tacoma_core Tacoma_util

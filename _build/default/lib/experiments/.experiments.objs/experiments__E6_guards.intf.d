@@ -1,0 +1,1 @@
+lib/experiments/e6_guards.mli: Format

@@ -1,0 +1,1 @@
+lib/experiments/e7_transports.ml: List Netsim Option Printf String Table Tacoma_core

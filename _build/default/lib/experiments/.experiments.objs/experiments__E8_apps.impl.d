@@ -1,0 +1,1 @@
+lib/experiments/e8_apps.ml: Apps Array Fun List Netsim Printf Table Tacoma_core Tacoma_util

@@ -1,0 +1,1 @@
+lib/experiments/registry.ml: Ablations E1_bandwidth E2_flooding E3_folders E4_cash E5_broker E6_guards E7_transports E8_apps Format List String

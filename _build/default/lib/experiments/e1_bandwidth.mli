@@ -1,0 +1,46 @@
+(** E1 — bandwidth conservation (paper §1).
+
+    Claim: "by structuring a system in terms of agents, applications can be
+    constructed in which communication-network bandwidth is conserved ...
+    there is rarely a need to transmit raw data from one site to another";
+    versus client/server, where "raw data may have to be sent from one site
+    to another if the client obtains its computing cycles from a different
+    site than it obtains its data".
+
+    Workload: a dataset of [records] rows of [record_bytes] each at a data
+    site several hops from the client; a query whose selectivity is swept.
+    The agent travels to the data, filters in place and carries back only
+    matches (plus its own code); the client/server baseline ships every row
+    to the client, which filters locally.
+
+    Expected shape: the agent wins by ~1/selectivity for selective queries
+    and loses slightly when selectivity approaches 1 (it still pays the
+    code-shipping overhead); the crossover sits where matched bytes plus
+    agent overhead equal the raw transfer. *)
+
+type row = {
+  selectivity : float;
+  agent_bytes : int;
+  cs_bytes : int;
+  ratio : float;           (** cs / agent; > 1 means the agent wins *)
+  agent_time : float;
+  cs_time : float;
+}
+
+type params = {
+  records : int;
+  record_bytes : int;
+  hops : int;              (** distance between client and data site *)
+  selectivities : float list;
+}
+
+val default_params : params
+val run : ?params:params -> unit -> row list
+
+val run_wan : ?selectivities:float list -> unit -> row list
+(** The same comparison on the paper's own deployment shape
+    ({!Netsim.Topology.wan_pair}: two 1995 LANs joined by a 64 KB/s
+    trans-Atlantic link).  Here the {e time} gap dominates: the
+    client/server pull drags the whole dataset across the WAN. *)
+
+val print_table : Format.formatter -> unit

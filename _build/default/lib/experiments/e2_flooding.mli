@@ -1,0 +1,27 @@
+(** E2 — bounded flooding via site-local folders (paper §2).
+
+    Claim: delivering a message at all sites by having each agent "create a
+    clone of itself at every adjacent site" makes "the number of agents
+    increase without bound"; recording visits in a site-local folder lets a
+    clone "simply terminate — rather than clone — when it finds itself at a
+    site that has already been visited".
+
+    Both strategies run as real agents: the naive flooder is a TScript agent
+    that re-ships its own source to every neighbour (with a TTL equal to the
+    graph diameter so it terminates at full coverage); the bounded flooder
+    is the [diffusion] system agent.  Expected shape: naive executions grow
+    roughly like degree^diameter, diffusion stays at ~n, both reach every
+    site. *)
+
+type row = {
+  topology : string;
+  sites : int;
+  method_ : string;        (** "naive" or "diffusion" *)
+  executions : int;        (** times the payload agent ran *)
+  coverage : int;          (** distinct sites reached *)
+  byte_hops : int;
+  finished_at : float;
+}
+
+val run : unit -> row list
+val print_table : Format.formatter -> unit

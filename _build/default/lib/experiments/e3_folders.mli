@@ -1,0 +1,26 @@
+(** E3 — folders move cheaply, cabinets access cheaply (paper §2).
+
+    Claim: "elaborate index structures are not suitable for implementing the
+    folders that accompany agents", while "file cabinets can be implemented
+    using techniques that optimize access times even if this increases the
+    cost of moving the file cabinet from one site to another."
+
+    We measure both sides of the trade at several sizes, in host
+    nanoseconds: membership lookups (folder scan vs cabinet hash index) and
+    moves (folder serialisation vs cabinet serialisation + index rebuild).
+    Expected shape: cabinet lookups are O(1) and folder lookups O(n), so the
+    lookup ratio grows with n; cabinet moves cost strictly more than folder
+    moves at every size. *)
+
+type row = {
+  elements : int;
+  folder_lookup_ns : float;
+  cabinet_lookup_ns : float;
+  lookup_speedup : float;   (** folder / cabinet; grows with n *)
+  folder_move_us : float;
+  cabinet_move_us : float;
+  move_penalty : float;     (** cabinet / folder; > 1 *)
+}
+
+val run : ?sizes:int list -> unit -> row list
+val print_table : Format.formatter -> unit

@@ -1,0 +1,49 @@
+(** E4 — electronic cash: validation foils double spending; audits identify
+    cheaters (paper §3).
+
+    Two sub-tables:
+
+    {b E4a}: a population of purchases in which a fraction of customers try
+    to spend copies of already-spent bills.  A {e validating} merchant
+    consults the validation agent before serving ("an attempt to spend
+    retired or copied ECUs will be foiled if a validation agent is always
+    consulted"); a {e naive} merchant accepts bills at face value.  Expected
+    shape: the validating merchant's loss is zero at every attack rate,
+    while the naive merchant's loss grows linearly with the attack rate.
+
+    {b E4b}: witnessed purchases with honest/cheating customers and
+    merchants in all four combinations; the court's verdict is compared to
+    ground truth.  Expected shape: verdict accuracy 100%. *)
+
+type row_a = {
+  attack_rate : float;
+  purchases : int;
+  validating_loss : int;   (** cents lost by merchants who validate *)
+  naive_loss : int;        (** cents lost by merchants who trust bills *)
+  detected : int;          (** double-spends caught by the validator *)
+}
+
+type row_b = {
+  customer : string;
+  merchant : string;
+  trials : int;
+  correct_verdicts : int;
+  verdict : string;        (** the (uniform) verdict the court returned *)
+}
+
+type row_c = {
+  fuel_cents : int;
+  damage : int;   (** junk cabinet entries a run-away wrote before dying *)
+  survived : bool;
+}
+
+val run_a : ?purchases:int -> ?attack_rates:float list -> unit -> row_a list
+val run_b : ?trials:int -> unit -> row_b list
+
+val run_c : ?fuel_levels:int list -> unit -> row_c list
+(** {b E4c}: "charging for services would limit possible damage by a
+    run-away agent" — a spamming agent is launched with varying amounts of
+    fuel; its damage must be proportional to the money it carried, and it
+    must never survive. *)
+
+val print_table : Format.formatter -> unit

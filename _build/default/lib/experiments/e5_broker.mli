@@ -1,0 +1,37 @@
+(** E5 — broker scheduling by load and capacity (paper §4).
+
+    Claim: "Brokers are expected to communicate among themselves and with
+    the service providers, so that requests can be distributed amongst
+    service providers based on load and capacity."
+
+    Workload: a Poisson stream of jobs arrives at a client site; for each
+    job the client consults the broker (whose view of provider load comes
+    from the load-monitor agents' periodic, hence slightly stale, reports)
+    and submits the job to the chosen provider's queue.  Providers are
+    heterogeneous: capacities differ by 4x.
+
+    Expected shape: load/capacity-aware policies (least-loaded, weighted)
+    beat random and round-robin on makespan and mean response time, with
+    the gap widening as utilisation grows; weighted also equalises
+    busy-time per unit capacity (lowest imbalance). *)
+
+type row = {
+  policy : string;
+  jobs : int;
+  makespan : float;        (** last completion, seconds *)
+  mean_response : float;   (** submission to completion *)
+  p95_response : float;
+  imbalance : float;       (** coefficient of variation of busy/capacity *)
+}
+
+type params = {
+  providers : float list;  (** capacities *)
+  jobs : int;
+  mean_interarrival : float;
+  work_per_job : float;
+  report_period : float;
+}
+
+val default_params : params
+val run : ?params:params -> unit -> row list
+val print_table : Format.formatter -> unit

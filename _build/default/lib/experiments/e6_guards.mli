@@ -1,0 +1,39 @@
+(** E6 — rear-guard fault tolerance (paper §5).
+
+    Claim: rear guards "ensure that a computation can proceed, even though
+    one or more of its agents is the victim of a site failure", with cycles
+    and fan-out called out as the hard cases.
+
+    Workload: agent computations over three itinerary shapes — a line, a
+    cycle (sites revisited) and a fan-out tree — with one simulated second
+    of work per stop, under Poisson site crashes of rate lambda per site per
+    second.  Guarded and unguarded runs replay the {e same} fault schedule.
+
+    Expected shape: without guards the completion probability decays
+    rapidly with lambda (roughly the probability that no visited site fails
+    under the agent); with guards it stays near 1 until simultaneous
+    guard+agent failures become likely, at the price of relaunches and
+    added latency. *)
+
+type row = {
+  shape : string;
+  lambda : float;          (** crashes per site per second *)
+  trials : int;
+  guarded_completed : int;
+  unguarded_completed : int;
+  mean_relaunches : float;
+  guarded_time : float;    (** mean completion time of completed runs *)
+  unguarded_time : float;
+}
+
+type params = {
+  trials : int;
+  lambdas : float list;
+  work_per_hop : float;
+  mean_downtime : float;
+  horizon : float;
+}
+
+val default_params : params
+val run : ?params:params -> unit -> row list
+val print_table : Format.formatter -> unit

@@ -1,0 +1,48 @@
+(** E7 — the three rexec transports (paper §6).
+
+    Claim: the prototype has three [rexec] implementations — UNIX [rsh]
+    (spawn a remote interpreter per hop), Tcl-TCP (direct connections) and
+    Tcl/Horus (group communication with failure handling).  They trade
+    startup cost, bytes and reliability differently.
+
+    {b E7a} — cost: a 4-hop journey at several briefcase payload sizes;
+    per-transport total time and bytes.  Expected shape: rsh is slowest
+    (per-hop spawn dominates) and heaviest; tcp is lightest and fastest
+    (handshake amortised over hops); horus sits between on bytes (acks) with
+    near-tcp latency.
+
+    {b E7b} — reliability: the destination site is down exactly when the
+    migration is sent and restarts shortly after.  Expected shape: rsh and
+    tcp lose the agent; horus retransmits until the site returns and the
+    journey completes. *)
+
+type cost_row = {
+  transport : string;
+  payload : int;
+  journey_time : float;
+  bytes : int;
+}
+
+type reliability_row = {
+  r_transport : string;
+  trials : int;
+  delivered : int;
+}
+
+type loss_row = {
+  l_transport : string;
+  loss_rate : float;
+  sent : int;
+  arrived : int;
+  extra_bytes : float; (** bytes per delivered agent, relative to tcp at 0 loss *)
+}
+
+val run_cost : ?hops:int -> ?payloads:int list -> unit -> cost_row list
+val run_reliability : ?trials:int -> unit -> reliability_row list
+
+val run_loss : ?agents:int -> ?loss_rates:float list -> unit -> loss_row list
+(** {b E7c}: message loss instead of site crashes — horus retransmits to
+    100% delivery at growing byte cost; rsh/tcp deliveries decay like
+    [(1-p)]. *)
+
+val print_table : Format.formatter -> unit

@@ -1,0 +1,25 @@
+type cell = S of string | I of int | F of float | F2 of float | Pct of float
+
+let cell_to_string = function
+  | S s -> s
+  | I i -> string_of_int i
+  | F f -> Printf.sprintf "%.4f" f
+  | F2 f -> Printf.sprintf "%.2f" f
+  | Pct f -> Printf.sprintf "%.1f%%" (100.0 *. f)
+
+let render fmt ~title ~header rows =
+  let srows = List.map (List.map cell_to_string) rows in
+  let ncols = List.length header in
+  let widths = Array.of_list (List.map String.length header) in
+  List.iter
+    (fun row ->
+      List.iteri (fun i c -> if i < ncols then widths.(i) <- max widths.(i) (String.length c)) row)
+    srows;
+  let pad i s = Printf.sprintf "%*s" widths.(i) s in
+  let line = String.concat "-+-" (Array.to_list (Array.map (fun w -> String.make w '-') widths)) in
+  Format.fprintf fmt "@.== %s ==@." title;
+  Format.fprintf fmt "%s@." (String.concat " | " (List.mapi pad header));
+  Format.fprintf fmt "%s@." line;
+  List.iter
+    (fun row -> Format.fprintf fmt "%s@." (String.concat " | " (List.mapi pad row)))
+    srows

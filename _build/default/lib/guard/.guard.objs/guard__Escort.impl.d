@@ -1,0 +1,1 @@
+lib/guard/escort.ml: Array Folder_stash Hashtbl List Netsim Option Printf String Tacoma_core

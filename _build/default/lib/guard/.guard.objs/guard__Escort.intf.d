@@ -1,0 +1,1 @@
+lib/guard/escort.mli: Netsim Tacoma_core

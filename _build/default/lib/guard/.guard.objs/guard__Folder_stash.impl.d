@@ -1,0 +1,1 @@
+lib/guard/folder_stash.ml: Tacoma_core

@@ -1,0 +1,96 @@
+(** Rear-guard fault tolerance (paper §5).
+
+    "The solutions we have studied involve leaving a rear guard agent behind
+    whenever execution moves from one site to another.  This rear guard is
+    responsible for (i) launching a new agent should a failure cause an
+    agent to vanish and (ii) terminating itself when its function is no
+    longer necessary."
+
+    Protocol implemented here, for an agent following an itinerary
+    [s0; s1; ...; sn]:
+
+    - after finishing its work at [sk], the agent installs a rear guard at
+      [sk] holding a {e snapshot} (the briefcase as of that moment plus the
+      hop number), then migrates on;
+    - the guard covers the transfer to and the work at [s(k+1)]: it is
+      released by a message sent from [s(k+1)] when the agent has finished
+      working there and installed the next guard;
+    - if the release does not arrive in time, the guard relaunches the
+      agent from its snapshot (redoing hop [k+1]), retrying with backoff up
+      to a bound;
+    - duplicate arrivals (relaunch racing the original) are suppressed by a
+      site-local seen-record keyed by (journey, hop) — the record is
+      volatile, so a crash clears it and a genuine relaunch is accepted.
+      The paper's two hard cases are covered: {e cycles}, because the
+      seen-record and guards are keyed by hop index, not by site; and
+      {e fan-out}, because journeys compose (see {!fanout}).
+
+    Known window (the paper calls the details "complex"): if [sk] crashes
+    after releasing its predecessor and before [s(k+1)] finishes, the hop in
+    flight is unguarded; simultaneous failure of the agent's site and its
+    guard's site loses the computation.  E6 measures exactly this. *)
+
+type config = {
+  ack_timeout : float;   (** guard patience before first relaunch *)
+  retry_period : float;  (** pause between relaunch attempts *)
+  max_relaunch : int;
+  transport : Tacoma_core.Kernel.transport;
+  durable : bool;
+  (** checkpoint each guard's snapshot to the site cabinet (flushed): when
+      the guard's own site crashes and restarts, the guard is resurrected
+      from disk and resumes watching.  This closes the guard-site-failure
+      window of the plain protocol — an extension beyond the paper's
+      prototype, in the direction its §5 sketches. *)
+}
+
+val default_config : config
+
+type journey
+
+type stats = {
+  completed : bool;
+  relaunches : int;
+  hops_done : int;       (** highest hop whose work finished *)
+  guards_installed : int;
+}
+
+val stats : journey -> stats
+
+val guarded_journey :
+  Tacoma_core.Kernel.t ->
+  ?config:config ->
+  id:string ->
+  itinerary:Netsim.Site.id list ->
+  work:(Tacoma_core.Kernel.ctx -> hop:int -> Tacoma_core.Briefcase.t -> unit) ->
+  ?on_complete:(Tacoma_core.Briefcase.t -> unit) ->
+  Tacoma_core.Briefcase.t ->
+  journey
+(** Launch a guarded agent computation.  [work] runs at every itinerary
+    stop (it may sleep via {!Tacoma_core.Kernel.sleep}); [on_complete] fires
+    at most once, at the final site.  The itinerary may revisit sites.
+    @raise Invalid_argument on an empty itinerary or duplicate [id]. *)
+
+val unguarded_journey :
+  Tacoma_core.Kernel.t ->
+  ?transport:Tacoma_core.Kernel.transport ->
+  id:string ->
+  itinerary:Netsim.Site.id list ->
+  work:(Tacoma_core.Kernel.ctx -> hop:int -> Tacoma_core.Briefcase.t -> unit) ->
+  ?on_complete:(Tacoma_core.Briefcase.t -> unit) ->
+  Tacoma_core.Briefcase.t ->
+  journey
+(** The §5 baseline: same computation, no guards; any crash under the agent
+    silently kills it. *)
+
+val fanout :
+  Tacoma_core.Kernel.t ->
+  ?config:config ->
+  id:string ->
+  branches:Netsim.Site.id list list ->
+  work:(Tacoma_core.Kernel.ctx -> hop:int -> Tacoma_core.Briefcase.t -> unit) ->
+  ?on_all_complete:(unit -> unit) ->
+  Tacoma_core.Briefcase.t ->
+  journey list
+(** Clone-and-fan-out: one guarded journey per branch, plus a completion
+    counter so the caller learns when {e all} branches are done — the
+    paper's fan-out termination problem. *)

@@ -1,0 +1,14 @@
+(* Stashing one briefcase inside another — the paper's observation that
+   folders are typeless, so they can hold whole agents.  Rear guards carry
+   their snapshot this way. *)
+
+module Briefcase = Tacoma_core.Briefcase
+
+let folder_name = "SNAPSHOT"
+
+let put bc snapshot = Briefcase.set bc folder_name (Briefcase.serialize snapshot)
+
+let take bc =
+  match Briefcase.get bc folder_name with
+  | Some wire -> Briefcase.deserialize wire
+  | None -> raise (Tacoma_core.Kernel.Agent_error "escort guard: missing SNAPSHOT")

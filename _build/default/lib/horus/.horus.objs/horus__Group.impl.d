@@ -1,0 +1,1 @@
+lib/horus/group.ml: Hashtbl List Netsim Option Printf String View

@@ -1,0 +1,1 @@
+lib/horus/group.mli: Netsim View

@@ -1,0 +1,1 @@
+lib/horus/view.ml: Format List Netsim String

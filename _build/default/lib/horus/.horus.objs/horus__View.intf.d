@@ -1,0 +1,1 @@
+lib/horus/view.mli: Format Netsim

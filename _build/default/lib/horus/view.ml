@@ -1,0 +1,12 @@
+type t = { id : int; members : Netsim.Site.id list }
+
+let make ~id ~members = { id; members = List.sort_uniq compare members }
+let coordinator t = match t.members with [] -> None | m :: _ -> Some m
+let mem t s = List.mem s t.members
+let size t = List.length t.members
+let without t s = { id = t.id + 1; members = List.filter (fun m -> m <> s) t.members }
+let with_member t s = { id = t.id + 1; members = List.sort_uniq compare (s :: t.members) }
+
+let pp fmt t =
+  Format.fprintf fmt "view %d {%s}" t.id
+    (String.concat "," (List.map string_of_int t.members))

@@ -1,0 +1,1 @@
+lib/netsim/fault.ml: Engine List Net Site Tacoma_util

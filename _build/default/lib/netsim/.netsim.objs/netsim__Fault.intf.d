@@ -1,0 +1,1 @@
+lib/netsim/fault.mli: Net Site Tacoma_util

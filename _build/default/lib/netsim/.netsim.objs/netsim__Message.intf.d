@@ -1,0 +1,1 @@
+lib/netsim/message.mli: Site

@@ -1,0 +1,1 @@
+lib/netsim/net.ml: Array Engine Float Hashtbl List Message Netstats Option Printf Tacoma_util Topology Trace

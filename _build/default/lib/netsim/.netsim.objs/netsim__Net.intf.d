@@ -1,0 +1,1 @@
+lib/netsim/net.mli: Engine Message Netstats Site Tacoma_util Topology Trace

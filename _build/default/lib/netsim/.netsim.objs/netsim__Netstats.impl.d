@@ -1,0 +1,1 @@
+lib/netsim/netstats.ml: Hashtbl Option

@@ -1,0 +1,1 @@
+lib/netsim/topology.ml: Array Fun Hashtbl List Option Printf Tacoma_util

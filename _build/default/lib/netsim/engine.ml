@@ -1,0 +1,70 @@
+type timer = { mutable live : bool; mutable on_cancel : unit -> unit }
+
+type event = { time : float; seq : int; fire : unit -> unit; handle : timer }
+
+type t = {
+  mutable clock : float;
+  mutable next_seq : int;
+  queue : event Tacoma_util.Heap.t;
+  mutable live_count : int;
+}
+
+let compare_event a b =
+  let c = compare a.time b.time in
+  if c <> 0 then c else compare a.seq b.seq
+
+let create () =
+  {
+    clock = 0.0;
+    next_seq = 0;
+    queue = Tacoma_util.Heap.create ~cmp:compare_event;
+    live_count = 0;
+  }
+
+let now t = t.clock
+
+let schedule_at t ~at fire =
+  let at = max at t.clock in
+  let handle = { live = true; on_cancel = (fun () -> ()) } in
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  t.live_count <- t.live_count + 1;
+  handle.on_cancel <- (fun () -> t.live_count <- t.live_count - 1);
+  Tacoma_util.Heap.push t.queue { time = at; seq; fire; handle };
+  handle
+
+let schedule t ~after fire = schedule_at t ~at:(t.clock +. max 0.0 after) fire
+
+let cancel handle =
+  if handle.live then begin
+    handle.live <- false;
+    handle.on_cancel ()
+  end
+
+let rec step t =
+  match Tacoma_util.Heap.pop t.queue with
+  | None -> false
+  | Some ev ->
+    if ev.handle.live then begin
+      ev.handle.live <- false;
+      t.live_count <- t.live_count - 1;
+      t.clock <- ev.time;
+      ev.fire ();
+      true
+    end
+    else step t (* cancelled entry: skip without advancing the clock *)
+
+let run ?until t =
+  match until with
+  | None -> while step t do () done
+  | Some stop ->
+    let continue = ref true in
+    while !continue do
+      match Tacoma_util.Heap.peek t.queue with
+      | Some ev when ev.time <= stop -> if not (step t) then continue := false
+      | Some _ | None ->
+        t.clock <- max t.clock stop;
+        continue := false
+    done
+
+let pending t = t.live_count

@@ -1,0 +1,37 @@
+(** Discrete-event simulation core.
+
+    A single logical clock and a priority queue of callbacks.  Everything in
+    the reproduction — message delivery, agent execution delays, failures,
+    heartbeats — is an event on this queue, which is what makes whole-system
+    runs deterministic. *)
+
+type t
+
+type timer
+(** Handle for a scheduled event, used to cancel pending timeouts. *)
+
+val create : unit -> t
+
+val now : t -> float
+(** Current simulated time in seconds. *)
+
+val schedule : t -> after:float -> (unit -> unit) -> timer
+(** [schedule t ~after f] runs [f] at [now t +. after].  Negative delays are
+    clamped to zero.  Events scheduled for the same instant fire in
+    scheduling order. *)
+
+val schedule_at : t -> at:float -> (unit -> unit) -> timer
+(** Absolute-time variant.  Times before [now] fire immediately (at [now]). *)
+
+val cancel : timer -> unit
+(** Cancelling an already-fired or cancelled timer is a no-op. *)
+
+val step : t -> bool
+(** Run the next event.  [false] if the queue was empty. *)
+
+val run : ?until:float -> t -> unit
+(** Drain the queue; with [until], stop once the next event lies beyond that
+    time (the clock is then advanced to [until]). *)
+
+val pending : t -> int
+(** Number of not-yet-fired, not-cancelled events. *)

@@ -1,0 +1,33 @@
+module Rng = Tacoma_util.Rng
+
+let crash_at net ~site ~at =
+  ignore (Engine.schedule_at (Net.engine net) ~at (fun () -> Net.crash net site))
+
+let restart_at net ~site ~at =
+  ignore (Engine.schedule_at (Net.engine net) ~at (fun () -> Net.restart net site))
+
+let crash_for net ~site ~at ~downtime =
+  crash_at net ~site ~at;
+  restart_at net ~site ~at:(at +. downtime)
+
+type plan = { site : Site.id; at : float; downtime : float }
+
+let poisson_plan ~rng ~sites ~rate ~mean_downtime ~until =
+  if rate <= 0.0 then []
+  else
+    List.concat_map
+      (fun site ->
+        let stream = Rng.split rng in
+        let rec gen acc time =
+          let time = time +. Rng.exponential stream ~mean:(1.0 /. rate) in
+          if time >= until then List.rev acc
+          else
+            let downtime = Rng.exponential stream ~mean:mean_downtime in
+            (* next crash can only happen after the site is back up *)
+            gen ({ site; at = time; downtime } :: acc) (time +. downtime)
+        in
+        gen [] 0.0)
+      sites
+
+let apply net plans =
+  List.iter (fun { site; at; downtime } -> crash_for net ~site ~at ~downtime) plans

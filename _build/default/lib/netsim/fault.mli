@@ -1,0 +1,26 @@
+(** Failure injection plans over a {!Net.t}.
+
+    The rear-guard experiments (paper §5) sweep a crash rate; this module
+    turns a rate into scheduled crash/restart events so that runs with and
+    without rear guards see the *same* failure schedule. *)
+
+val crash_at : Net.t -> site:Site.id -> at:float -> unit
+val restart_at : Net.t -> site:Site.id -> at:float -> unit
+
+val crash_for : Net.t -> site:Site.id -> at:float -> downtime:float -> unit
+(** Crash at [at], restart at [at +. downtime]. *)
+
+type plan = { site : Site.id; at : float; downtime : float }
+
+val poisson_plan :
+  rng:Tacoma_util.Rng.t ->
+  sites:Site.id list ->
+  rate:float ->
+  mean_downtime:float ->
+  until:float ->
+  plan list
+(** For each site, crash events arrive as a Poisson process with [rate]
+    crashes per second and exponentially distributed downtime.  Pure: the
+    plan can be inspected, stored and replayed against several networks. *)
+
+val apply : Net.t -> plan list -> unit

@@ -1,0 +1,11 @@
+type payload = ..
+type payload += Ping of string
+
+type t = {
+  src : Site.id;
+  dst : Site.id;
+  size : int;
+  payload : payload;
+  sent_at : float;
+  hops : int;
+}

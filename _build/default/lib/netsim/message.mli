@@ -1,0 +1,20 @@
+(** Messages carried by the simulated network.
+
+    The payload is an extensible variant: each layer (TACOMA kernel, Horus,
+    client/server baseline) declares its own constructors, so the simulator
+    stays ignorant of what it carries — folders are "uninterpreted sequences
+    of bits" to the network, exactly as in the paper. *)
+
+type payload = ..
+
+type payload += Ping of string
+(** Built-in payload used by tests and diagnostics. *)
+
+type t = {
+  src : Site.id;
+  dst : Site.id;
+  size : int;            (** bytes on the wire *)
+  payload : payload;
+  sent_at : float;
+  hops : int;            (** links traversed from [src] to [dst] *)
+}

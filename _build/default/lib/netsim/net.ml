@@ -1,0 +1,276 @@
+module Rng = Tacoma_util.Rng
+
+type site_state = {
+  mutable up : bool;
+  mutable handlers : (string * (Message.t -> unit)) list;
+  mutable crash_hooks : (unit -> unit) list;
+  mutable restart_hooks : (unit -> unit) list;
+}
+
+type t = {
+  engine : Engine.t;
+  topo : Topology.t;
+  rng : Rng.t;
+  loss_rng : Rng.t;
+  loss_rate : float;
+  stats : Netstats.t;
+  trace : Trace.t;
+  site_states : site_state array;
+  disabled_links : (int * int, unit) Hashtbl.t;
+  link_busy_until : (int * int, float) Hashtbl.t; (* FIFO serialisation per link *)
+  mutable generation : int; (* bumped on any reachability change *)
+  route_cache : (int, (float * int list) option array * int) Hashtbl.t;
+      (* src -> (per-dst delay/path, generation) *)
+}
+
+let create ?(seed = 42L) ?(trace = false) ?(loss_rate = 0.0) topo =
+  if loss_rate < 0.0 || loss_rate >= 1.0 then invalid_arg "Net.create: loss_rate must be in [0,1)";
+  let n = Topology.site_count topo in
+  let rng = Rng.create seed in
+  {
+    engine = Engine.create ();
+    topo;
+    loss_rng = Rng.split rng;
+    loss_rate;
+    rng;
+    stats = Netstats.create ();
+    trace = Trace.create ~enabled:trace ();
+    site_states =
+      Array.init n (fun _ ->
+          { up = true; handlers = []; crash_hooks = []; restart_hooks = [] });
+    disabled_links = Hashtbl.create 8;
+    link_busy_until = Hashtbl.create 64;
+    generation = 0;
+    route_cache = Hashtbl.create 16;
+  }
+
+let engine t = t.engine
+let topology t = t.topo
+let now t = Engine.now t.engine
+let rng t = t.rng
+let stats t = t.stats
+let trace t = t.trace
+let sites t = Topology.sites t.topo
+let neighbors t s = Topology.neighbors t.topo s
+
+let state t s =
+  if s < 0 || s >= Array.length t.site_states then invalid_arg "Net: unknown site";
+  t.site_states.(s)
+
+let set_handler t s ~key h =
+  let st = state t s in
+  st.handlers <- (key, h) :: List.remove_assoc key st.handlers
+
+let clear_handler t s ~key =
+  let st = state t s in
+  st.handlers <- List.remove_assoc key st.handlers
+let site_up t s = (state t s).up
+
+let key a b = if a < b then (a, b) else (b, a)
+
+let link_enabled t a b = not (Hashtbl.mem t.disabled_links (key a b))
+
+(* Dijkstra over latency, skipping disabled links.  A down site may be
+   reached (it can be a message destination — liveness is re-checked at
+   delivery time so in-flight messages race with crashes as on a real
+   network) but must not forward traffic: we never relax the edges of a
+   down vertex other than the source. *)
+let dijkstra t src =
+  let n = Topology.site_count t.topo in
+  let dist = Array.make n infinity in
+  let prev = Array.make n (-1) in
+  let visited = Array.make n false in
+  dist.(src) <- 0.0;
+  let heap = Tacoma_util.Heap.create ~cmp:(fun (a, _) (b, _) -> compare a b) in
+  Tacoma_util.Heap.push heap (0.0, src);
+  let rec loop () =
+    match Tacoma_util.Heap.pop heap with
+    | None -> ()
+    | Some (d, u) ->
+      if not visited.(u) then begin
+        visited.(u) <- true;
+        if (state t u).up || u = src then
+          List.iter
+            (fun v ->
+              if link_enabled t u v then
+                match Topology.link t.topo u v with
+                | None -> ()
+                | Some l ->
+                  let nd = d +. l.latency in
+                  if nd < dist.(v) then begin
+                    dist.(v) <- nd;
+                    prev.(v) <- u;
+                    Tacoma_util.Heap.push heap (nd, v)
+                  end)
+            (Topology.neighbors t.topo u)
+      end;
+      loop ()
+  in
+  loop ();
+  let path_to dst =
+    if dist.(dst) = infinity then None
+    else begin
+      let rec build acc v = if v = src then acc else build (v :: acc) prev.(v) in
+      Some (dist.(dst), build [] dst)
+    end
+  in
+  Array.init n path_to
+
+let routes_from t src =
+  match Hashtbl.find_opt t.route_cache src with
+  | Some (arr, gen) when gen = t.generation -> arr
+  | Some _ | None ->
+    let arr = dijkstra t src in
+    Hashtbl.replace t.route_cache src (arr, t.generation);
+    arr
+
+let route t src dst =
+  if src = dst then Some []
+  else match (routes_from t src).(dst) with None -> None | Some (_, path) -> Some path
+
+let local_delivery_delay = 0.0001
+
+let path_delay t ~size src path =
+  (* idle-network bound: per link, latency + serialisation *)
+  let rec go acc prev_site = function
+    | [] -> acc
+    | hop :: rest ->
+      let l =
+        match Topology.link t.topo prev_site hop with
+        | Some l -> l
+        | None -> assert false
+      in
+      go (acc +. l.latency +. (float_of_int size /. l.bandwidth)) hop rest
+  in
+  go 0.0 src path
+
+(* Store-and-forward with FIFO link contention: at each link the message
+   first waits until the link has drained earlier traffic, occupies it for
+   the serialisation time, then propagates for the latency.  Returns the
+   absolute arrival time and updates the links' busy horizons. *)
+let reserve_path t ~size src path =
+  let now = Engine.now t.engine in
+  let rec go arrival prev_site = function
+    | [] -> arrival
+    | hop :: rest ->
+      let l =
+        match Topology.link t.topo prev_site hop with
+        | Some l -> l
+        | None -> assert false
+      in
+      let k = key prev_site hop in
+      let free_at = Option.value ~default:0.0 (Hashtbl.find_opt t.link_busy_until k) in
+      let start_tx = Float.max arrival free_at in
+      let tx_done = start_tx +. (float_of_int size /. l.bandwidth) in
+      Hashtbl.replace t.link_busy_until k tx_done;
+      go (tx_done +. l.latency) hop rest
+  in
+  go now src path
+
+let delivery_delay t src dst ~size =
+  if src = dst then Some local_delivery_delay
+  else
+    match route t src dst with
+    | None -> None
+    | Some path -> Some (path_delay t ~size src path)
+
+let deliver t (msg : Message.t) =
+  let st = state t msg.dst in
+  if st.up then begin
+    Netstats.record_delivery t.stats;
+    Trace.add t.trace ~time:(now t) Trace.Deliver
+      (Printf.sprintf "site-%d <- site-%d (%d bytes)" msg.dst msg.src msg.size);
+    List.iter (fun (_, h) -> h msg) (List.rev st.handlers)
+  end
+  else begin
+    Netstats.record_drop t.stats;
+    Trace.add t.trace ~time:(now t) Trace.Drop
+      (Printf.sprintf "site-%d down, dropped %d bytes from site-%d" msg.dst msg.size msg.src)
+  end
+
+let send t ~src ~dst ~size payload =
+  if size < 0 then invalid_arg "Net.send: negative size";
+  if site_up t src then begin
+    if src = dst then begin
+      Netstats.record_send t.stats ~bytes:size ~hops:0;
+      let msg =
+        { Message.src; dst; size; payload; sent_at = now t; hops = 0 }
+      in
+      ignore (Engine.schedule t.engine ~after:local_delivery_delay (fun () -> deliver t msg))
+    end
+    else
+      match route t src dst with
+      | None ->
+        Netstats.record_drop t.stats;
+        Trace.add t.trace ~time:(now t) Trace.Drop
+          (Printf.sprintf "no route site-%d -> site-%d (%d bytes)" src dst size)
+      | Some path ->
+        let hops = List.length path in
+        Netstats.record_send t.stats ~bytes:size ~hops;
+        let rec charge prev_site = function
+          | [] -> ()
+          | hop :: rest ->
+            Netstats.record_link_bytes t.stats prev_site hop size;
+            charge hop rest
+        in
+        charge src path;
+        Trace.add t.trace ~time:(now t) Trace.Send
+          (Printf.sprintf "site-%d -> site-%d (%d bytes, %d hops)" src dst size hops);
+        let arrival = reserve_path t ~size src path in
+        if t.loss_rate > 0.0 && Rng.float t.loss_rng < t.loss_rate then begin
+          (* lost in transit: the bytes were spent, nothing arrives *)
+          ignore
+            (Engine.schedule_at t.engine ~at:arrival (fun () ->
+                 Netstats.record_drop t.stats;
+                 Trace.add t.trace ~time:(now t) Trace.Drop
+                   (Printf.sprintf "lost in transit site-%d -> site-%d (%d bytes)" src dst size)))
+        end
+        else begin
+          let msg = { Message.src; dst; size; payload; sent_at = now t; hops } in
+          ignore (Engine.schedule_at t.engine ~at:arrival (fun () -> deliver t msg))
+        end
+  end
+
+let crash t s =
+  let st = state t s in
+  if st.up then begin
+    st.up <- false;
+    st.handlers <- [];
+    t.generation <- t.generation + 1;
+    Trace.add t.trace ~time:(now t) Trace.Crash (Printf.sprintf "site-%d" s);
+    List.iter (fun hook -> hook ()) (List.rev st.crash_hooks)
+  end
+
+let restart t s =
+  let st = state t s in
+  if not st.up then begin
+    st.up <- true;
+    t.generation <- t.generation + 1;
+    Trace.add t.trace ~time:(now t) Trace.Restart (Printf.sprintf "site-%d" s);
+    List.iter (fun hook -> hook ()) (List.rev st.restart_hooks)
+  end
+
+let on_crash t s hook =
+  let st = state t s in
+  st.crash_hooks <- hook :: st.crash_hooks
+
+let on_restart t s hook =
+  let st = state t s in
+  st.restart_hooks <- hook :: st.restart_hooks
+
+let set_link_enabled t a b enabled =
+  (match Topology.link t.topo a b with
+  | None -> invalid_arg "Net.set_link_enabled: no such link"
+  | Some _ -> ());
+  let k = key a b in
+  let changed =
+    if enabled then Hashtbl.mem t.disabled_links k
+    else not (Hashtbl.mem t.disabled_links k)
+  in
+  if changed then begin
+    if enabled then Hashtbl.remove t.disabled_links k else Hashtbl.replace t.disabled_links k ();
+    t.generation <- t.generation + 1
+  end
+
+let run ?until t = Engine.run ?until t.engine
+let schedule t ~after f = Engine.schedule t.engine ~after f

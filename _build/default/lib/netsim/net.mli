@@ -1,0 +1,70 @@
+(** The simulated network: topology + event engine + failure state.
+
+    Semantics:
+    - messages follow the lowest-latency route between sites, are charged on
+      every link of the route, and move store-and-forward: at each link the
+      message waits for the link to free up (FIFO contention), serialises at
+      the link bandwidth, then propagates for the link latency;
+    - a message whose destination is down at delivery time, or that has no
+      route (partition, crashed intermediates), is dropped silently — upper
+      layers implement their own timeouts, exactly as real transports must;
+    - a crashed site loses its handler and volatile state; [on_crash] hooks
+      let upper layers model that loss. *)
+
+type t
+
+val create : ?seed:int64 -> ?trace:bool -> ?loss_rate:float -> Topology.t -> t
+(** [loss_rate] (default 0.0) is the probability that any remote message is
+    lost in transit — drawn deterministically from the network's seeded RNG.
+    Local (same-site) deliveries are never lost. *)
+
+val engine : t -> Engine.t
+val topology : t -> Topology.t
+val now : t -> float
+val rng : t -> Tacoma_util.Rng.t
+(** The root RNG stream for this network; split it rather than draw from it
+    directly in long-lived components. *)
+
+val stats : t -> Netstats.t
+val trace : t -> Trace.t
+val sites : t -> Site.id list
+val neighbors : t -> Site.id -> Site.id list
+
+(** {1 Messaging} *)
+
+val set_handler : t -> Site.id -> key:string -> (Message.t -> unit) -> unit
+(** Several protocol layers coexist on one site (TACOMA kernel, Horus,
+    baseline RPC); each registers under its own [key] and filters messages
+    by payload constructor.  Re-registering a key replaces that handler.
+    All handlers are dropped when the site crashes. *)
+
+val clear_handler : t -> Site.id -> key:string -> unit
+
+val send : t -> src:Site.id -> dst:Site.id -> size:int -> Message.payload -> unit
+(** Sending from a down site is a silent no-op (the sender cannot exist).
+    [dst = src] delivers locally after a negligible fixed delay with no
+    byte charge. *)
+
+val route : t -> Site.id -> Site.id -> Site.id list option
+(** The current route, as the list of sites after the source (so its length
+    is the hop count).  [None] when unreachable. *)
+
+val delivery_delay : t -> Site.id -> Site.id -> size:int -> float option
+(** What [send] would charge right now on an idle network (contention from
+    in-flight messages adds to this). *)
+
+(** {1 Failures} *)
+
+val site_up : t -> Site.id -> bool
+val crash : t -> Site.id -> unit
+val restart : t -> Site.id -> unit
+val on_crash : t -> Site.id -> (unit -> unit) -> unit
+val on_restart : t -> Site.id -> (unit -> unit) -> unit
+
+val set_link_enabled : t -> Site.id -> Site.id -> bool -> unit
+(** Disable/enable a link, modelling partitions. *)
+
+(** {1 Convenience} *)
+
+val run : ?until:float -> t -> unit
+val schedule : t -> after:float -> (unit -> unit) -> Engine.timer

@@ -1,0 +1,6 @@
+type id = int
+
+let pp fmt id = Format.fprintf fmt "site-%d" id
+
+module Map = Map.Make (Int)
+module Set = Set.Make (Int)

@@ -1,0 +1,10 @@
+(** Site identities.  A site is a machine in the network: it hosts one
+    TACOMA place (a script interpreter plus a file cabinet) and can crash
+    and restart. *)
+
+type id = int
+
+val pp : Format.formatter -> id -> unit
+
+module Map : Map.S with type key = id
+module Set : Set.S with type elt = id

@@ -1,0 +1,30 @@
+type kind = Send | Deliver | Drop | Crash | Restart | Agent | Note
+
+type entry = { time : float; kind : kind; detail : string }
+
+type t = { mutable enabled : bool; mutable entries : entry list (* newest first *) }
+
+let create ?(enabled = false) () = { enabled; entries = [] }
+let enable t b = t.enabled <- b
+let enabled t = t.enabled
+
+let add t ~time kind detail =
+  if t.enabled then t.entries <- { time; kind; detail } :: t.entries
+
+let entries t = List.rev t.entries
+let clear t = t.entries <- []
+
+let kind_name = function
+  | Send -> "send"
+  | Deliver -> "deliver"
+  | Drop -> "drop"
+  | Crash -> "crash"
+  | Restart -> "restart"
+  | Agent -> "agent"
+  | Note -> "note"
+
+let pp_entry fmt e =
+  Format.fprintf fmt "[%10.4f] %-8s %s" e.time (kind_name e.kind) e.detail
+
+let dump fmt t =
+  List.iter (fun e -> Format.fprintf fmt "%a@." pp_entry e) (entries t)

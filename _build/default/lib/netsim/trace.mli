@@ -1,0 +1,30 @@
+(** Chronological event trace.  Optional (off by default); experiments turn
+    it on to explain *why* a run behaved as it did — e.g. which crash killed
+    which agent and which rear guard relaunched it. *)
+
+type kind =
+  | Send
+  | Deliver
+  | Drop
+  | Crash
+  | Restart
+  | Agent  (** agent-level events recorded by upper layers *)
+  | Note
+
+type entry = { time : float; kind : kind; detail : string }
+
+type t
+
+val create : ?enabled:bool -> unit -> t
+val enable : t -> bool -> unit
+val enabled : t -> bool
+
+val add : t -> time:float -> kind -> string -> unit
+(** No-op while disabled. *)
+
+val entries : t -> entry list
+(** Oldest first. *)
+
+val clear : t -> unit
+val pp_entry : Format.formatter -> entry -> unit
+val dump : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/tscript/expr.ml: Buffer Float List Printf String Value

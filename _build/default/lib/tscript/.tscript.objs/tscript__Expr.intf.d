@@ -1,0 +1,1 @@
+lib/tscript/expr.mli:

@@ -1,0 +1,1 @@
+lib/tscript/interp.ml: Array Ast Buffer Expr Hashtbl List Option Parse Printf Regex String Strutil Value

@@ -1,0 +1,1 @@
+lib/tscript/parse.ml: Ast Buffer List String

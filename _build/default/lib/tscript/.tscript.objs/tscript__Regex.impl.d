@@ -1,0 +1,1 @@
+lib/tscript/regex.ml: Array Buffer Char List Option Printf String

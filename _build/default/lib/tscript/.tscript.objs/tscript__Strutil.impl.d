@@ -1,0 +1,1 @@
+lib/tscript/strutil.ml: Buffer Char Hashtbl List Option Printf String Value

@@ -1,0 +1,1 @@
+lib/tscript/strutil.mli:

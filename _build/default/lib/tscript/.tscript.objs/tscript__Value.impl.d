@@ -1,0 +1,1 @@
+lib/tscript/value.ml: Buffer Float List Option Printf String

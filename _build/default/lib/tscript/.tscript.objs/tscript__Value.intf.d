@@ -1,0 +1,1 @@
+lib/tscript/value.mli:

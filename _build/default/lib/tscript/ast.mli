@@ -1,0 +1,25 @@
+(** Parsed form of a TScript script.
+
+    A script is a list of commands; a command is a list of words; a word is
+    either a brace-quoted literal (no substitution — how Tcl defers
+    evaluation of bodies) or a sequence of fragments that are substituted
+    and concatenated at evaluation time. *)
+
+type fragment =
+  | Lit of string        (** literal text *)
+  | Var of string        (** [$name] or [${name}] *)
+  | VarElem of string * fragment list
+      (** [$name(index)] — a Tcl array element; the index is itself a
+          fragment sequence, so [$a($i)] works *)
+  | Cmd of script        (** [\[...\]] command substitution *)
+
+and word =
+  | Braced of string     (** [{...}]: verbatim, one word *)
+  | Frags of fragment list
+
+and command = word list
+
+and script = command list
+
+val pp_script : Format.formatter -> script -> unit
+(** Debug printer. *)

@@ -1,0 +1,477 @@
+exception Error of string
+
+type num = Int of int | Float of float | Str of string
+
+let fail msg = raise (Error msg)
+
+(* --- lexer ------------------------------------------------------------ *)
+
+type token =
+  | Tnum of num
+  | Tstr of string
+  | Tvar of string
+  | Tcmd of string
+  | Tident of string (* function name *)
+  | Top of string
+  | Tlparen
+  | Trparen
+  | Tcomma
+  | Teof
+
+type lexer = { src : string; mutable pos : int; mutable tok : token }
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || is_digit c || c = '_'
+
+let rec next_token lx =
+  let n = String.length lx.src in
+  while lx.pos < n && (lx.src.[lx.pos] = ' ' || lx.src.[lx.pos] = '\t' || lx.src.[lx.pos] = '\n') do
+    lx.pos <- lx.pos + 1
+  done;
+  if lx.pos >= n then Teof
+  else
+    let c = lx.src.[lx.pos] in
+    if is_digit c || (c = '.' && lx.pos + 1 < n && is_digit lx.src.[lx.pos + 1]) then begin
+      let start = lx.pos in
+      let seen_dot = ref false and seen_exp = ref false in
+      let continue = ref true in
+      while !continue && lx.pos < n do
+        let d = lx.src.[lx.pos] in
+        if is_digit d then lx.pos <- lx.pos + 1
+        else if d = '.' && not !seen_dot && not !seen_exp then begin
+          seen_dot := true;
+          lx.pos <- lx.pos + 1
+        end
+        else if (d = 'e' || d = 'E') && not !seen_exp && lx.pos + 1 < n
+                && (is_digit lx.src.[lx.pos + 1]
+                   || ((lx.src.[lx.pos + 1] = '+' || lx.src.[lx.pos + 1] = '-')
+                      && lx.pos + 2 < n && is_digit lx.src.[lx.pos + 2])) then begin
+          seen_exp := true;
+          lx.pos <- lx.pos + (if is_digit lx.src.[lx.pos + 1] then 1 else 2)
+        end
+        else continue := false
+      done;
+      let text = String.sub lx.src start (lx.pos - start) in
+      if !seen_dot || !seen_exp then Tnum (Float (float_of_string text))
+      else
+        match int_of_string_opt text with
+        | Some i -> Tnum (Int i)
+        | None -> Tnum (Float (float_of_string text))
+    end
+    else if c = '$' then begin
+      lx.pos <- lx.pos + 1;
+      if lx.pos < n && lx.src.[lx.pos] = '{' then begin
+        let start = lx.pos + 1 in
+        let close = String.index_from_opt lx.src start '}' in
+        match close with
+        | None -> fail "unterminated ${ in expression"
+        | Some e ->
+          lx.pos <- e + 1;
+          Tvar (String.sub lx.src start (e - start))
+      end
+      else begin
+        let start = lx.pos in
+        while lx.pos < n && is_ident_char lx.src.[lx.pos] do
+          lx.pos <- lx.pos + 1
+        done;
+        if lx.pos = start then fail "bare $ in expression";
+        let name = String.sub lx.src start (lx.pos - start) in
+        (* array element: pass "name(raw index)" through to the lookup,
+           which substitutes the index in the caller's scope *)
+        if lx.pos < n && lx.src.[lx.pos] = '(' then begin
+          let istart = lx.pos in
+          let depth = ref 0 in
+          let continue = ref true in
+          while !continue && lx.pos < n do
+            (match lx.src.[lx.pos] with
+            | '(' -> incr depth
+            | ')' -> decr depth
+            | _ -> ());
+            lx.pos <- lx.pos + 1;
+            if !depth = 0 then continue := false
+          done;
+          if !depth > 0 then fail "unterminated array index in expression";
+          Tvar (name ^ String.sub lx.src istart (lx.pos - istart))
+        end
+        else Tvar name
+      end
+    end
+    else if c = '[' then begin
+      (* balanced bracket scan; the interpreter evaluates the inside *)
+      let start = lx.pos + 1 in
+      let depth = ref 1 in
+      lx.pos <- lx.pos + 1;
+      while lx.pos < n && !depth > 0 do
+        (match lx.src.[lx.pos] with
+        | '[' -> incr depth
+        | ']' -> decr depth
+        | _ -> ());
+        lx.pos <- lx.pos + 1
+      done;
+      if !depth > 0 then fail "unterminated [ in expression";
+      Tcmd (String.sub lx.src start (lx.pos - 1 - start))
+    end
+    else if c = '"' || c = '{' then begin
+      let close_char = if c = '"' then '"' else '}' in
+      let buf = Buffer.create 16 in
+      lx.pos <- lx.pos + 1;
+      let depth = ref 1 in
+      let finished = ref false in
+      while lx.pos < n && not !finished do
+        let d = lx.src.[lx.pos] in
+        if c = '{' && d = '{' then begin
+          incr depth;
+          Buffer.add_char buf d;
+          lx.pos <- lx.pos + 1
+        end
+        else if d = close_char then begin
+          decr depth;
+          if !depth = 0 then begin
+            finished := true;
+            lx.pos <- lx.pos + 1
+          end
+          else begin
+            Buffer.add_char buf d;
+            lx.pos <- lx.pos + 1
+          end
+        end
+        else begin
+          Buffer.add_char buf d;
+          lx.pos <- lx.pos + 1
+        end
+      done;
+      if not !finished then fail "unterminated string in expression";
+      Tstr (Buffer.contents buf)
+    end
+    else if is_ident_char c then begin
+      let start = lx.pos in
+      while lx.pos < n && is_ident_char lx.src.[lx.pos] do
+        lx.pos <- lx.pos + 1
+      done;
+      let name = String.sub lx.src start (lx.pos - start) in
+      match name with
+      | "eq" | "ne" | "in" | "ni" -> Top name
+      | _ -> Tident name
+    end
+    else begin
+      let two =
+        if lx.pos + 1 < n then Some (String.sub lx.src lx.pos 2) else None
+      in
+      match two with
+      | Some (("==" | "!=" | "<=" | ">=" | "&&" | "||" | "**") as op) ->
+        lx.pos <- lx.pos + 2;
+        Top op
+      | Some _ | None -> (
+        match c with
+        | '+' | '-' | '*' | '/' | '%' | '<' | '>' | '!' | '~' ->
+          lx.pos <- lx.pos + 1;
+          Top (String.make 1 c)
+        | '(' ->
+          lx.pos <- lx.pos + 1;
+          Tlparen
+        | ')' ->
+          lx.pos <- lx.pos + 1;
+          Trparen
+        | ',' ->
+          lx.pos <- lx.pos + 1;
+          Tcomma
+        | _ -> fail (Printf.sprintf "unexpected character %C in expression" c))
+    end
+
+and advance lx = lx.tok <- next_token lx
+
+(* --- numeric coercions ------------------------------------------------- *)
+
+let as_num v =
+  match v with
+  | Int _ | Float _ -> v
+  | Str s -> (
+    match Value.int_of s with
+    | Some i -> Int i
+    | None -> (
+      match Value.float_of s with
+      | Some f -> Float f
+      | None -> fail (Printf.sprintf "expected number, got %S" s)))
+
+let as_float v =
+  match as_num v with Int i -> float_of_int i | Float f -> f | Str _ -> assert false
+
+let as_int v =
+  match as_num v with
+  | Int i -> i
+  | Float f -> int_of_float f
+  | Str _ -> assert false
+
+let truthy_num v =
+  match v with
+  | Int i -> i <> 0
+  | Float f -> f <> 0.0
+  | Str s -> Value.truthy s
+
+let num_to_string = function
+  | Int i -> Value.of_int i
+  | Float f -> Value.of_float f
+  | Str s -> s
+
+(* numeric binop with int preservation *)
+let arith name fi ff a b =
+  match (as_num a, as_num b) with
+  | Int x, Int y -> Int (fi x y)
+  | (Int _ | Float _), (Int _ | Float _) -> Float (ff (as_float a) (as_float b))
+  | _ -> fail ("bad operands for " ^ name)
+
+let compare_vals a b =
+  (* numeric comparison when both sides parse as numbers, else string *)
+  let num v =
+    match v with
+    | Int _ | Float _ -> Some (as_float v)
+    | Str s -> Value.float_of s
+  in
+  match (num a, num b) with
+  | Some x, Some y -> compare x y
+  | _ ->
+    let str = function Str s -> s | other -> num_to_string other in
+    compare (str a) (str b)
+
+(* --- parser ------------------------------------------------------------ *)
+
+type ctx = {
+  lx : lexer;
+  lookup : string -> string;
+  eval_cmd : string -> string;
+}
+
+let rec parse_primary ctx =
+  match ctx.lx.tok with
+  | Tnum v ->
+    advance ctx.lx;
+    v
+  | Tstr s ->
+    advance ctx.lx;
+    Str s
+  | Tvar name ->
+    advance ctx.lx;
+    Str (ctx.lookup name)
+  | Tcmd script ->
+    advance ctx.lx;
+    Str (ctx.eval_cmd script)
+  | Tlparen ->
+    advance ctx.lx;
+    let v = parse_or ctx in
+    (match ctx.lx.tok with
+    | Trparen -> advance ctx.lx
+    | _ -> fail "expected )");
+    v
+  | Top "-" ->
+    advance ctx.lx;
+    (match as_num (parse_unary ctx) with
+    | Int i -> Int (-i)
+    | Float f -> Float (-.f)
+    | Str _ -> assert false)
+  | Top "+" ->
+    advance ctx.lx;
+    as_num (parse_unary ctx)
+  | Top "!" ->
+    advance ctx.lx;
+    Int (if truthy_num (parse_unary ctx) then 0 else 1)
+  | Top "~" ->
+    advance ctx.lx;
+    Int (lnot (as_int (parse_unary ctx)))
+  | Tident name ->
+    advance ctx.lx;
+    parse_call ctx name
+  | Top op -> fail (Printf.sprintf "unexpected operator %s" op)
+  | Trparen -> fail "unexpected )"
+  | Tcomma -> fail "unexpected ,"
+  | Teof -> fail "unexpected end of expression"
+
+and parse_unary ctx = parse_primary ctx
+
+and parse_call ctx name =
+  let args =
+    match ctx.lx.tok with
+    | Tlparen ->
+      advance ctx.lx;
+      if ctx.lx.tok = Trparen then begin
+        advance ctx.lx;
+        []
+      end
+      else begin
+        let rec go acc =
+          let v = parse_or ctx in
+          match ctx.lx.tok with
+          | Tcomma ->
+            advance ctx.lx;
+            go (v :: acc)
+          | Trparen ->
+            advance ctx.lx;
+            List.rev (v :: acc)
+          | _ -> fail "expected , or ) in function call"
+        in
+        go []
+      end
+    | _ -> (
+      (* bare words: treat true/false specially, otherwise a string *)
+      match name with
+      | "true" | "yes" | "on" -> [ Int 1 ]
+      | "false" | "no" | "off" -> [ Int 0 ]
+      | _ -> [])
+  in
+  match (name, args) with
+  | ("true" | "yes" | "on"), _ -> Int 1
+  | ("false" | "no" | "off"), _ -> Int 0
+  | "abs", [ v ] -> (
+    match as_num v with
+    | Int i -> Int (abs i)
+    | Float f -> Float (Float.abs f)
+    | Str _ -> assert false)
+  | "int", [ v ] -> Int (as_int v)
+  | "round", [ v ] -> Int (int_of_float (Float.round (as_float v)))
+  | "floor", [ v ] -> Float (Float.floor (as_float v))
+  | "ceil", [ v ] -> Float (Float.ceil (as_float v))
+  | "double", [ v ] -> Float (as_float v)
+  | "sqrt", [ v ] -> Float (sqrt (as_float v))
+  | "exp", [ v ] -> Float (exp (as_float v))
+  | "log", [ v ] -> Float (log (as_float v))
+  | "log10", [ v ] -> Float (log10 (as_float v))
+  | "sin", [ v ] -> Float (sin (as_float v))
+  | "cos", [ v ] -> Float (cos (as_float v))
+  | "tan", [ v ] -> Float (tan (as_float v))
+  | "pow", [ a; b ] -> Float (Float.pow (as_float a) (as_float b))
+  | "fmod", [ a; b ] -> Float (Float.rem (as_float a) (as_float b))
+  | "min", (_ :: _ as vs) ->
+    List.fold_left (fun acc v -> if compare_vals v acc < 0 then v else acc) (List.hd vs) vs
+  | "max", (_ :: _ as vs) ->
+    List.fold_left (fun acc v -> if compare_vals v acc > 0 then v else acc) (List.hd vs) vs
+  | _ -> fail (Printf.sprintf "unknown function %s/%d" name (List.length args))
+
+and parse_pow ctx =
+  let base = parse_unary ctx in
+  match ctx.lx.tok with
+  | Top "**" ->
+    advance ctx.lx;
+    let expo = parse_pow ctx in
+    Float (Float.pow (as_float base) (as_float expo))
+  | _ -> base
+
+and parse_mul ctx =
+  let rec go acc =
+    match ctx.lx.tok with
+    | Top "*" ->
+      advance ctx.lx;
+      go (arith "*" ( * ) ( *. ) acc (parse_pow ctx))
+    | Top "/" ->
+      advance ctx.lx;
+      let b = parse_pow ctx in
+      let result =
+        match (as_num acc, as_num b) with
+        | Int _, Int 0 -> fail "division by zero"
+        | Int x, Int y ->
+          (* Tcl floors integer division toward negative infinity *)
+          let q = if (x < 0) <> (y < 0) && x mod y <> 0 then (x / y) - 1 else x / y in
+          Int q
+        | (Int _ | Float _), (Int _ | Float _) -> Float (as_float acc /. as_float b)
+        | _ -> fail "bad operands for /"
+      in
+      go result
+    | Top "%" ->
+      advance ctx.lx;
+      let b = parse_pow ctx in
+      let x = as_int acc and y = as_int b in
+      if y = 0 then fail "modulo by zero";
+      let m = x mod y in
+      let m = if m <> 0 && (m < 0) <> (y < 0) then m + y else m in
+      go (Int m)
+    | _ -> acc
+  in
+  go (parse_pow ctx)
+
+and parse_add ctx =
+  let rec go acc =
+    match ctx.lx.tok with
+    | Top "+" ->
+      advance ctx.lx;
+      go (arith "+" ( + ) ( +. ) acc (parse_mul ctx))
+    | Top "-" ->
+      advance ctx.lx;
+      go (arith "-" ( - ) ( -. ) acc (parse_mul ctx))
+    | _ -> acc
+  in
+  go (parse_mul ctx)
+
+and parse_cmp ctx =
+  let rec go acc =
+    match ctx.lx.tok with
+    | Top (("<" | "<=" | ">" | ">=") as op) ->
+      advance ctx.lx;
+      let b = parse_add ctx in
+      let c = compare_vals acc b in
+      let r =
+        match op with
+        | "<" -> c < 0
+        | "<=" -> c <= 0
+        | ">" -> c > 0
+        | ">=" -> c >= 0
+        | _ -> assert false
+      in
+      go (Int (if r then 1 else 0))
+    | _ -> acc
+  in
+  go (parse_add ctx)
+
+and parse_eq ctx =
+  let rec go acc =
+    match ctx.lx.tok with
+    | Top (("==" | "!=") as op) ->
+      advance ctx.lx;
+      let b = parse_cmp ctx in
+      let c = compare_vals acc b = 0 in
+      go (Int (if c = (op = "==") then 1 else 0))
+    | Top (("eq" | "ne") as op) ->
+      advance ctx.lx;
+      let b = parse_cmp ctx in
+      let sa = num_to_string acc and sb = num_to_string b in
+      let c = String.equal sa sb in
+      go (Int (if c = (op = "eq") then 1 else 0))
+    | Top (("in" | "ni") as op) ->
+      advance ctx.lx;
+      let b = parse_cmp ctx in
+      let elem = num_to_string acc in
+      let l = Value.to_list_exn (num_to_string b) in
+      let mem = List.mem elem l in
+      go (Int (if mem = (op = "in") then 1 else 0))
+    | _ -> acc
+  in
+  go (parse_cmp ctx)
+
+and parse_and ctx =
+  let acc = parse_eq ctx in
+  match ctx.lx.tok with
+  | Top "&&" ->
+    advance ctx.lx;
+    let rhs = parse_and ctx in
+    Int (if truthy_num acc && truthy_num rhs then 1 else 0)
+  | _ -> acc
+
+and parse_or ctx =
+  let acc = parse_and ctx in
+  match ctx.lx.tok with
+  | Top "||" ->
+    advance ctx.lx;
+    let rhs = parse_or ctx in
+    Int (if truthy_num acc || truthy_num rhs then 1 else 0)
+  | _ -> acc
+
+let eval_num ~lookup ~eval_cmd src =
+  let lx = { src; pos = 0; tok = Teof } in
+  advance lx;
+  let ctx = { lx; lookup; eval_cmd } in
+  let v = parse_or ctx in
+  (match ctx.lx.tok with
+  | Teof -> ()
+  | _ -> fail "trailing characters in expression");
+  v
+
+let eval ~lookup ~eval_cmd src = num_to_string (eval_num ~lookup ~eval_cmd src)
+let eval_bool ~lookup ~eval_cmd src = truthy_num (eval_num ~lookup ~eval_cmd src)

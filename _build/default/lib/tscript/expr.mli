@@ -1,0 +1,25 @@
+(** The [expr] sublanguage: arithmetic, comparison and boolean expressions.
+
+    Like Tcl, [expr] performs its own [$var] and [\[cmd\]] substitution —
+    that is why [if {$x > 0} ...] works even though braces suppress
+    substitution — so the evaluator takes the two substitution callbacks
+    from the interpreter. *)
+
+exception Error of string
+
+type num = Int of int | Float of float | Str of string
+
+val eval :
+  lookup:(string -> string) ->
+  eval_cmd:(string -> string) ->
+  string ->
+  string
+(** Evaluate an expression to its string rendering.
+    @raise Error on syntax or type errors (caught by the interpreter and
+    turned into a script-level error). *)
+
+val eval_bool :
+  lookup:(string -> string) ->
+  eval_cmd:(string -> string) ->
+  string ->
+  bool

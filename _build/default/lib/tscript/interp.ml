@@ -1,0 +1,1084 @@
+exception Error_exc of string
+exception Return_exc of string
+exception Break_exc
+exception Continue_exc
+exception Resource_exhausted
+
+type command_fn = t -> string list -> string
+
+and t = {
+  commands : (string, command_fn) Hashtbl.t;
+  proc_bodies : (string, string * string) Hashtbl.t; (* name -> params, body (introspection) *)
+  globals : (string, string) Hashtbl.t;
+  global_arrays : (string, (string, string) Hashtbl.t) Hashtbl.t;
+  mutable frames : frame list; (* innermost first; [] means global scope *)
+  mutable steps : int;
+  mutable limit : int option;
+  mutable depth : int;
+  max_depth : int;
+  parse_cache : (string, Ast.script) Hashtbl.t;
+  out_buf : Buffer.t;
+  mutable output : string -> unit;
+}
+
+and frame = {
+  vars : (string, string) Hashtbl.t;
+  arrays : (string, (string, string) Hashtbl.t) Hashtbl.t;
+  linked_globals : (string, unit) Hashtbl.t;
+  upvars : (string, frame option * string) Hashtbl.t;
+      (* local alias -> (target frame, None = global scope; target name) *)
+}
+
+let err fmt = Printf.ksprintf (fun msg -> raise (Error_exc msg)) fmt
+
+(* ---- variables -------------------------------------------------------- *)
+
+(* scope resolution: a name in a frame may be linked to the globals
+   ([global]) or aliased into another frame ([upvar]); chase the links *)
+let rec resolve_scope scope name =
+  match scope with
+  | None -> (None, name)
+  | Some f ->
+    if Hashtbl.mem f.linked_globals name then (None, name)
+    else (
+      match Hashtbl.find_opt f.upvars name with
+      | Some (target, oname) -> resolve_scope target oname
+      | None -> (scope, name))
+
+let current_scope t = match t.frames with [] -> None | f :: _ -> Some f
+let resolve_name t name = resolve_scope (current_scope t) name
+let scope_vars t = function None -> t.globals | Some f -> f.vars
+let scope_arrays t = function None -> t.global_arrays | Some f -> f.arrays
+
+let resolved_vars t name =
+  let scope, n = resolve_name t name in
+  (scope_vars t scope, n)
+
+let resolved_arrays t name =
+  let scope, n = resolve_name t name in
+  (scope_arrays t scope, n)
+
+let array_exists t name =
+  let tbl, n = resolved_arrays t name in
+  Hashtbl.mem tbl n
+
+let get_var_opt t name =
+  let tbl, n = resolved_vars t name in
+  Hashtbl.find_opt tbl n
+
+let get_var t name =
+  match get_var_opt t name with
+  | Some v -> v
+  | None ->
+    if array_exists t name then err "can't read %S: variable is array" name
+    else err "can't read %S: no such variable" name
+
+let set_var t name v =
+  if array_exists t name then err "can't set %S: variable is array" name;
+  let tbl, n = resolved_vars t name in
+  Hashtbl.replace tbl n v
+
+let unset_var t name =
+  let vtbl, vn = resolved_vars t name in
+  Hashtbl.remove vtbl vn;
+  let atbl, an = resolved_arrays t name in
+  Hashtbl.remove atbl an
+
+(* ---- array elements ----------------------------------------------------- *)
+
+let get_elem_opt t name index =
+  let tbl, n = resolved_arrays t name in
+  Option.bind (Hashtbl.find_opt tbl n) (fun arr -> Hashtbl.find_opt arr index)
+
+let get_elem t name index =
+  match get_elem_opt t name index with
+  | Some v -> v
+  | None -> err "can't read %S(%s): no such element" name index
+
+let set_elem t name index v =
+  let vtbl, vn = resolved_vars t name in
+  if Hashtbl.mem vtbl vn then err "can't set %S(%s): variable isn't array" name index;
+  let tbl, n = resolved_arrays t name in
+  let arr =
+    match Hashtbl.find_opt tbl n with
+    | Some arr -> arr
+    | None ->
+      let arr = Hashtbl.create 8 in
+      Hashtbl.replace tbl n arr;
+      arr
+  in
+  Hashtbl.replace arr index v
+
+let unset_elem t name index =
+  let tbl, n = resolved_arrays t name in
+  match Hashtbl.find_opt tbl n with
+  | Some arr -> Hashtbl.remove arr index
+  | None -> ()
+
+(* "name(index)" in a fully-substituted word (set a($i) v arrives here as
+   "a(5)"); the index may contain anything except a leading '(' split *)
+let split_array_ref s =
+  let n = String.length s in
+  if n >= 3 && s.[n - 1] = ')' then
+    match String.index_opt s '(' with
+    | Some i when i > 0 && i < n - 1 -> Some (String.sub s 0 i, String.sub s (i + 1) (n - i - 2))
+    | Some i when i > 0 -> Some (String.sub s 0 i, "")
+    | _ -> None
+  else None
+
+(* generic reference access for commands like set/incr/append/lappend *)
+let get_ref_opt t name =
+  match split_array_ref name with
+  | Some (a, i) -> get_elem_opt t a i
+  | None -> get_var_opt t name
+
+let get_ref t name =
+  match split_array_ref name with
+  | Some (a, i) -> get_elem t a i
+  | None -> get_var t name
+
+let set_ref t name v =
+  match split_array_ref name with
+  | Some (a, i) -> set_elem t a i v
+  | None -> set_var t name v
+
+let unset_ref t name =
+  match split_array_ref name with
+  | Some (a, i) -> unset_elem t a i
+  | None -> unset_var t name
+
+(* ---- metering ---------------------------------------------------------- *)
+
+let charge t n =
+  t.steps <- t.steps + n;
+  match t.limit with
+  | Some l when t.steps > l -> raise Resource_exhausted
+  | Some _ | None -> ()
+
+let steps_used t = t.steps
+let set_step_limit t l = t.limit <- l
+let step_limit t = t.limit
+let reset_steps t = t.steps <- 0
+
+(* ---- parsing with cache ------------------------------------------------ *)
+
+let parse t src =
+  match Hashtbl.find_opt t.parse_cache src with
+  | Some ast -> ast
+  | None -> (
+    match Parse.script_result src with
+    | Error msg -> err "syntax error: %s" msg
+    | Ok ast ->
+      if Hashtbl.length t.parse_cache > 512 then Hashtbl.reset t.parse_cache;
+      Hashtbl.replace t.parse_cache src ast;
+      ast)
+
+(* ---- evaluation -------------------------------------------------------- *)
+
+let rec eval_word t word =
+  match word with
+  | Ast.Braced s -> s
+  | Ast.Frags [ frag ] -> eval_fragment t frag
+  | Ast.Frags frags -> String.concat "" (List.map (eval_fragment t) frags)
+
+and eval_fragment t frag =
+  match frag with
+  | Ast.Lit s -> s
+  | Ast.Var name -> get_var t name
+  | Ast.VarElem (name, index_frags) ->
+    get_elem t name (String.concat "" (List.map (eval_fragment t) index_frags))
+  | Ast.Cmd script -> eval_ast t script
+
+and eval_command t words =
+  match words with
+  | [] -> ""
+  | name_word :: arg_words ->
+    charge t 1;
+    let name = eval_word t name_word in
+    let args = List.map (eval_word t) arg_words in
+    dispatch t name args
+
+and dispatch t name args =
+  match Hashtbl.find_opt t.commands name with
+  | Some fn -> fn t args
+  | None -> err "invalid command name %S" name
+
+and eval_ast t script =
+  List.fold_left (fun _ cmd -> eval_command t cmd) "" script
+
+and eval_string t src = eval_ast t (parse t src)
+
+(* expr needs variable and command substitution from the current scope.
+   Expressions are charged one step each: loop conditions must consume
+   budget even when the loop body is empty, or a run-away agent could spin
+   for free. *)
+and subst_string t s =
+  match Parse.fragments s with
+  | frags -> String.concat "" (List.map (eval_fragment t) frags)
+  | exception Parse.Syntax_error msg -> err "substitution: %s" msg
+
+(* expr hands back array references as "name(raw index)"; the raw index
+   still needs a round of substitution ($a($i)) *)
+and expr_lookup t n =
+  match split_array_ref n with
+  | Some (name, raw_index) -> get_elem t name (subst_string t raw_index)
+  | None -> get_var t n
+
+and eval_expr_value t src =
+  charge t 1;
+  try Expr.eval ~lookup:(expr_lookup t) ~eval_cmd:(fun s -> eval_string t s) src
+  with Expr.Error msg -> err "expr: %s" msg
+
+and eval_expr_bool t src =
+  charge t 1;
+  try Expr.eval_bool ~lookup:(expr_lookup t) ~eval_cmd:(fun s -> eval_string t s) src
+  with Expr.Error msg -> err "expr: %s" msg
+
+let eval t src =
+  match eval_string t src with
+  | v -> Ok v
+  | exception Error_exc msg -> Error msg
+  | exception Return_exc v -> Ok v
+  | exception Break_exc -> Error "invoked \"break\" outside of a loop"
+  | exception Continue_exc -> Error "invoked \"continue\" outside of a loop"
+
+let eval_exn t src =
+  match eval t src with Ok v -> v | Error msg -> raise (Error_exc msg)
+
+let call t name args = dispatch t name args
+
+(* ---- host command API --------------------------------------------------- *)
+
+let register t name fn = Hashtbl.replace t.commands name fn
+
+let unregister t name =
+  Hashtbl.remove t.commands name;
+  Hashtbl.remove t.proc_bodies name
+
+let has_command t name = Hashtbl.mem t.commands name
+let command_names t = Hashtbl.fold (fun k _ acc -> k :: acc) t.commands []
+
+let set_output t fn = t.output <- fn
+
+let take_output t =
+  let s = Buffer.contents t.out_buf in
+  Buffer.clear t.out_buf;
+  s
+
+(* ---- procs -------------------------------------------------------------- *)
+
+type param = Required of string | Optional of string * string | Rest
+
+let parse_params spec =
+  let items = Value.to_list_exn spec in
+  let n = List.length items in
+  List.mapi
+    (fun i item ->
+      if item = "args" && i = n - 1 then Rest
+      else
+        match Value.to_list_exn item with
+        | [ name ] -> Required name
+        | [ name; default ] -> Optional (name, default)
+        | _ -> err "bad parameter specifier %S" item)
+    items
+
+let usage_of_params name params =
+  let render = function
+    | Required n -> n
+    | Optional (n, _) -> "?" ^ n ^ "?"
+    | Rest -> "?arg ...?"
+  in
+  String.concat " " (name :: List.map render params)
+
+let bind_params name params args =
+  let frame =
+    {
+      vars = Hashtbl.create 8;
+      arrays = Hashtbl.create 4;
+      linked_globals = Hashtbl.create 4;
+      upvars = Hashtbl.create 4;
+    }
+  in
+  let wrong () = err "wrong # args: should be %S" (usage_of_params name params) in
+  let rec go params args =
+    match (params, args) with
+    | [], [] -> ()
+    | [], _ :: _ -> wrong ()
+    | [ Rest ], rest -> Hashtbl.replace frame.vars "args" (Value.of_list rest)
+    | Rest :: _, _ -> err "args must be the last parameter"
+    | Required n :: ps, a :: rest ->
+      Hashtbl.replace frame.vars n a;
+      go ps rest
+    | Required _ :: _, [] -> wrong ()
+    | Optional (n, d) :: ps, [] ->
+      Hashtbl.replace frame.vars n d;
+      go ps []
+    | Optional (n, _) :: ps, a :: rest ->
+      Hashtbl.replace frame.vars n a;
+      go ps rest
+  in
+  go params args;
+  frame
+
+let define_proc t name param_spec body =
+  let params = parse_params param_spec in
+  Hashtbl.replace t.proc_bodies name (param_spec, body);
+  register t name (fun t args ->
+      if t.depth >= t.max_depth then err "too many nested proc calls (max %d)" t.max_depth;
+      let frame = bind_params name params args in
+      t.frames <- frame :: t.frames;
+      t.depth <- t.depth + 1;
+      let restore () =
+        t.frames <- List.tl t.frames;
+        t.depth <- t.depth - 1
+      in
+      match eval_string t body with
+      | v ->
+        restore ();
+        v
+      | exception Return_exc v ->
+        restore ();
+        v
+      | exception e ->
+        restore ();
+        raise e)
+
+(* ---- builtin commands ---------------------------------------------------- *)
+
+let nth args i = List.nth args i
+
+let int_arg what s =
+  match Value.int_of s with Some i -> i | None -> err "expected integer for %s, got %S" what s
+
+(* Tcl index syntax: N, end, end-N *)
+let index_arg ~len s =
+  let s = String.trim s in
+  if s = "end" then len - 1
+  else if String.length s > 4 && String.sub s 0 4 = "end-" then
+    len - 1 - int_arg "index" (String.sub s 4 (String.length s - 4))
+  else int_arg "index" s
+
+let install_core t0 =
+  let reg name fn = register t0 name fn in
+
+  reg "set" (fun t args ->
+      match args with
+      | [ name ] -> get_ref t name
+      | [ name; v ] ->
+        set_ref t name v;
+        v
+      | _ -> err "wrong # args: should be \"set varName ?newValue?\"");
+
+  reg "unset" (fun t args ->
+      match args with
+      | [] -> err "wrong # args: should be \"unset varName ?varName ...?\""
+      | names ->
+        List.iter (unset_ref t) names;
+        "");
+
+  reg "incr" (fun t args ->
+      match args with
+      | [ name ] | [ name; _ ] ->
+        let delta = match args with [ _; d ] -> int_arg "increment" d | _ -> 1 in
+        let cur =
+          match get_ref_opt t name with
+          | None -> 0
+          | Some v -> int_arg "variable value" v
+        in
+        let v = Value.of_int (cur + delta) in
+        set_ref t name v;
+        v
+      | _ -> err "wrong # args: should be \"incr varName ?increment?\"");
+
+  reg "global" (fun t args ->
+      (match t.frames with
+      | [] -> ()
+      | frame :: _ -> List.iter (fun n -> Hashtbl.replace frame.linked_globals n ()) args);
+      "");
+
+  reg "upvar" (fun t args ->
+      (* upvar ?level? otherVar myVar ?otherVar myVar ...? *)
+      let parse_level s =
+        if s = "#0" then Some `Global
+        else match int_of_string_opt s with Some n when n >= 0 -> Some (`Up n) | _ -> None
+      in
+      let level, pairs =
+        match args with
+        | lvl :: rest when parse_level lvl <> None && List.length rest mod 2 = 0 && rest <> [] ->
+          (Option.get (parse_level lvl), rest)
+        | _ -> (`Up 1, args)
+      in
+      if pairs = [] || List.length pairs mod 2 <> 0 then
+        err "wrong # args: should be \"upvar ?level? otherVar localVar ?...?\"";
+      let target =
+        match level with
+        | `Global -> None
+        | `Up n -> (
+          (* frames.(0) is the current frame; n frames up *)
+          let rec go frames n =
+            match (frames, n) with
+            | _, 0 -> ( match frames with [] -> None | f :: _ -> Some f)
+            | [], _ -> None
+            | _ :: rest, n -> go rest (n - 1)
+          in
+          match t.frames with [] -> None | _ :: rest -> go rest (n - 1))
+      in
+      (match t.frames with
+      | [] -> err "upvar: no enclosing frame"
+      | frame :: _ ->
+        let rec link = function
+          | other :: local :: rest ->
+            Hashtbl.replace frame.upvars local (target, other);
+            link rest
+          | [] -> ()
+          | [ _ ] -> err "upvar: unbalanced variable pairs"
+        in
+        link pairs);
+      "");
+
+  reg "uplevel" (fun t args ->
+      let parse_level s =
+        if s = "#0" then Some `Global
+        else match int_of_string_opt s with Some n when n >= 1 -> Some (`Up n) | _ -> None
+      in
+      let level, script_parts =
+        match args with
+        | lvl :: (_ :: _ as rest) when parse_level lvl <> None ->
+          (Option.get (parse_level lvl), rest)
+        | _ -> (`Up 1, args)
+      in
+      if script_parts = [] then err "wrong # args: should be \"uplevel ?level? script\"";
+      let saved = t.frames in
+      (match level with
+      | `Global -> t.frames <- []
+      | `Up n ->
+        let rec drop frames n =
+          if n = 0 then frames else match frames with [] -> [] | _ :: rest -> drop rest (n - 1)
+        in
+        t.frames <- drop t.frames n);
+      let restore () = t.frames <- saved in
+      (match eval_string t (String.concat " " script_parts) with
+      | v ->
+        restore ();
+        v
+      | exception e ->
+        restore ();
+        raise e));
+
+  reg "proc" (fun t args ->
+      match args with
+      | [ name; params; body ] ->
+        define_proc t name params body;
+        ""
+      | _ -> err "wrong # args: should be \"proc name args body\"");
+
+  reg "return" (fun _ args ->
+      match args with
+      | [] -> raise (Return_exc "")
+      | [ v ] -> raise (Return_exc v)
+      | _ -> err "wrong # args: should be \"return ?value?\"");
+
+  reg "break" (fun _ _ -> raise Break_exc);
+  reg "continue" (fun _ _ -> raise Continue_exc);
+
+  reg "error" (fun _ args ->
+      match args with
+      | [ msg ] -> raise (Error_exc msg)
+      | _ -> err "wrong # args: should be \"error message\"");
+
+  reg "catch" (fun t args ->
+      match args with
+      | [ script ] | [ script; _ ] -> (
+        let set_result v =
+          match args with [ _; var ] -> set_var t var v | _ -> ()
+        in
+        match eval_string t script with
+        | v ->
+          set_result v;
+          "0"
+        | exception Error_exc msg ->
+          set_result msg;
+          "1"
+        | exception Return_exc v ->
+          set_result v;
+          "2")
+      | _ -> err "wrong # args: should be \"catch script ?resultVarName?\"");
+
+  reg "eval" (fun t args -> eval_string t (String.concat " " args));
+
+  reg "expr" (fun t args -> eval_expr_value t (String.concat " " args));
+
+  reg "if" (fun t args ->
+      let rec go args =
+        match args with
+        | cond :: rest -> (
+          let rest = match rest with "then" :: r -> r | r -> r in
+          match rest with
+          | body :: rest ->
+            if eval_expr_bool t cond then eval_string t body
+            else branch rest
+          | [] -> err "wrong # args: no script following condition")
+        | [] -> err "wrong # args: should be \"if cond ?then? body ...\""
+      and branch rest =
+        match rest with
+        | [] -> ""
+        | [ "else"; body ] -> eval_string t body
+        | [ body ] -> eval_string t body
+        | "elseif" :: rest -> go rest
+        | _ -> err "expected \"elseif\" or \"else\" clause"
+      in
+      go args);
+
+  reg "while" (fun t args ->
+      match args with
+      | [ cond; body ] ->
+        let rec loop () =
+          if eval_expr_bool t cond then begin
+            (try ignore (eval_string t body) with Continue_exc -> ());
+            loop ()
+          end
+        in
+        (try loop () with Break_exc -> ());
+        ""
+      | _ -> err "wrong # args: should be \"while test command\"");
+
+  reg "for" (fun t args ->
+      match args with
+      | [ init; cond; next; body ] ->
+        ignore (eval_string t init);
+        let rec loop () =
+          if eval_expr_bool t cond then begin
+            (try ignore (eval_string t body) with Continue_exc -> ());
+            ignore (eval_string t next);
+            loop ()
+          end
+        in
+        (try loop () with Break_exc -> ());
+        ""
+      | _ -> err "wrong # args: should be \"for start test next command\"");
+
+  reg "foreach" (fun t args ->
+      match args with
+      | [ varspec; listval; body ] ->
+        let vars = Value.to_list_exn varspec in
+        let vars = if vars = [] then err "foreach: empty variable list" else vars in
+        let items = Value.to_list_exn listval in
+        let nvars = List.length vars in
+        let rec loop items =
+          match items with
+          | [] -> ()
+          | _ ->
+            let rec bind vs items =
+              match vs with
+              | [] -> items
+              | v :: vrest -> (
+                match items with
+                | [] ->
+                  set_var t v "";
+                  bind vrest []
+                | x :: irest ->
+                  set_var t v x;
+                  bind vrest irest)
+            in
+            let rest = bind vars items in
+            ignore nvars;
+            (try ignore (eval_string t body) with Continue_exc -> ());
+            loop rest
+        in
+        (try loop items with Break_exc -> ());
+        ""
+      | _ -> err "wrong # args: should be \"foreach varList list body\"");
+
+  reg "array" (fun t args ->
+      match args with
+      | [ "exists"; name ] -> Value.of_bool (array_exists t name)
+      | [ "size"; name ] -> (
+        let tbl, n = resolved_arrays t name in
+        match Hashtbl.find_opt tbl n with
+        | Some arr -> Value.of_int (Hashtbl.length arr)
+        | None -> "0")
+      | [ "names"; name ] | [ "names"; name; _ ] -> (
+        let pattern = match args with [ _; _; p ] -> Some p | _ -> None in
+        let tbl, n = resolved_arrays t name in
+        match Hashtbl.find_opt tbl n with
+        | None -> ""
+        | Some arr ->
+          Hashtbl.fold (fun k _ acc -> k :: acc) arr []
+          |> List.filter (fun k ->
+                 match pattern with
+                 | None -> true
+                 | Some p -> Strutil.glob_match ~pattern:p k)
+          |> List.sort compare |> Value.of_list)
+      | [ "get"; name ] -> (
+        let tbl, n = resolved_arrays t name in
+        match Hashtbl.find_opt tbl n with
+        | None -> ""
+        | Some arr ->
+          Hashtbl.fold (fun k v acc -> (k, v) :: acc) arr []
+          |> List.sort compare
+          |> List.concat_map (fun (k, v) -> [ k; v ])
+          |> Value.of_list)
+      | [ "set"; name; kvlist ] ->
+        let rec go = function
+          | [] -> ()
+          | [ _ ] -> err "array set: list must have an even number of elements"
+          | k :: v :: rest ->
+            set_elem t name k v;
+            go rest
+        in
+        go (Value.to_list_exn kvlist);
+        ""
+      | [ "unset"; name ] ->
+        let tbl, n = resolved_arrays t name in
+        Hashtbl.remove tbl n;
+        ""
+      | [ "unset"; name; key ] ->
+        unset_elem t name key;
+        ""
+      | _ -> err "unsupported array subcommand or wrong # args");
+
+  reg "switch" (fun t args ->
+      (* switch ?-exact|-glob? string {pattern body ...} or inline pairs;
+         a body of "-" falls through to the next body *)
+      let glob, rest =
+        match args with
+        | "-glob" :: rest -> (true, rest)
+        | "-exact" :: rest -> (false, rest)
+        | "--" :: rest -> (false, rest)
+        | rest -> (false, rest)
+      in
+      let subject, pairs =
+        match rest with
+        | [ subject; block ] -> (subject, Value.to_list_exn block)
+        | subject :: (_ :: _ as inline) -> (subject, inline)
+        | _ -> err "wrong # args: should be \"switch ?options? string pattern body ...\""
+      in
+      let rec to_pairs = function
+        | [] -> []
+        | [ _ ] -> err "switch: extra pattern with no body"
+        | p :: b :: rest -> (p, b) :: to_pairs rest
+      in
+      let pairs = to_pairs pairs in
+      let matches p =
+        p = "default" || if glob then Strutil.glob_match ~pattern:p subject else p = subject
+      in
+      let rec fire = function
+        | [] -> ""
+        | (p, body) :: rest ->
+          if matches p then
+            (* fall through "-" bodies to the next real body *)
+            let rec body_of b rest =
+              if b = "-" then
+                match rest with
+                | (_, b') :: rest' -> body_of b' rest'
+                | [] -> err "switch: no body to fall through to"
+              else b
+            in
+            eval_string t (body_of body rest)
+          else fire rest
+      in
+      fire pairs);
+
+  reg "subst" (fun t args ->
+      match args with
+      | [ s ] -> (
+        match Parse.fragments s with
+        | frags -> String.concat "" (List.map (eval_fragment t) frags)
+        | exception Parse.Syntax_error msg -> err "subst: %s" msg)
+      | _ -> err "wrong # args: should be \"subst string\"");
+
+  reg "puts" (fun t args ->
+      match args with
+      | [ s ] ->
+        t.output (s ^ "\n");
+        ""
+      | [ "-nonewline"; s ] ->
+        t.output s;
+        ""
+      | _ -> err "wrong # args: should be \"puts ?-nonewline? string\"");
+
+  reg "info" (fun t args ->
+      match args with
+      | [ "exists"; name ] ->
+        Value.of_bool
+          (Option.is_some (get_ref_opt t name)
+          || (split_array_ref name = None && array_exists t name))
+      | [ "commands" ] -> Value.of_list (List.sort compare (command_names t))
+      | [ "procs" ] ->
+        Value.of_list
+          (List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.proc_bodies []))
+      | [ "body"; name ] -> (
+        match Hashtbl.find_opt t.proc_bodies name with
+        | Some (_, body) -> body
+        | None -> err "%S isn't a procedure" name)
+      | [ "args"; name ] -> (
+        match Hashtbl.find_opt t.proc_bodies name with
+        | Some (params, _) -> params
+        | None -> err "%S isn't a procedure" name)
+      | [ "level" ] -> Value.of_int (List.length t.frames)
+      | _ -> err "unsupported info subcommand")
+
+let install_strings t0 =
+  let reg name fn = register t0 name fn in
+
+  reg "string" (fun _ args ->
+      match args with
+      | "length" :: [ s ] -> Value.of_int (String.length s)
+      | "index" :: [ s; i ] ->
+        let len = String.length s in
+        let i = index_arg ~len i in
+        if i < 0 || i >= len then "" else String.make 1 s.[i]
+      | "range" :: [ s; first; last ] ->
+        let len = String.length s in
+        let first = max 0 (index_arg ~len first) in
+        let last = min (len - 1) (index_arg ~len last) in
+        if first > last then "" else String.sub s first (last - first + 1)
+      | "tolower" :: [ s ] -> String.lowercase_ascii s
+      | "toupper" :: [ s ] -> String.uppercase_ascii s
+      | "trim" :: [ s ] -> String.trim s
+      | "trimleft" :: [ s ] ->
+        let n = String.length s in
+        let rec skip i = if i < n && (s.[i] = ' ' || s.[i] = '\t' || s.[i] = '\n' || s.[i] = '\r') then skip (i + 1) else i in
+        let i = skip 0 in
+        String.sub s i (n - i)
+      | "trimright" :: [ s ] ->
+        let rec skip i = if i > 0 && (s.[i - 1] = ' ' || s.[i - 1] = '\t' || s.[i - 1] = '\n' || s.[i - 1] = '\r') then skip (i - 1) else i in
+        String.sub s 0 (skip (String.length s))
+      | "last" :: [ needle; hay ] -> (
+        if needle = "" then "-1"
+        else
+          let nl = String.length needle and hl = String.length hay in
+          let rec go i =
+            if i < 0 then -1 else if String.sub hay i nl = needle then i else go (i - 1)
+          in
+          Value.of_int (go (hl - nl)))
+      | "equal" :: [ a; b ] -> Value.of_bool (String.equal a b)
+      | "compare" :: [ a; b ] -> Value.of_int (compare a b)
+      | "first" :: [ needle; hay ] -> (
+        if needle = "" then "-1"
+        else
+          let nl = String.length needle and hl = String.length hay in
+          let rec go i =
+            if i + nl > hl then -1
+            else if String.sub hay i nl = needle then i
+            else go (i + 1)
+          in
+          Value.of_int (go 0))
+      | "match" :: [ pattern; s ] -> Value.of_bool (Strutil.glob_match ~pattern s)
+      | "repeat" :: [ s; n ] ->
+        let n = int_arg "count" n in
+        if n <= 0 then ""
+        else begin
+          let b = Buffer.create (String.length s * n) in
+          for _ = 1 to n do
+            Buffer.add_string b s
+          done;
+          Buffer.contents b
+        end
+      | "reverse" :: [ s ] ->
+        String.init (String.length s) (fun i -> s.[String.length s - 1 - i])
+      | "map" :: [ mapping; s ] ->
+        (* longest-first, left-to-right, single pass (Tcl semantics) *)
+        let rec to_pairs = function
+          | [] -> []
+          | [ _ ] -> err "string map: unbalanced mapping list"
+          | k :: v :: rest -> (k, v) :: to_pairs rest
+        in
+        let pairs = to_pairs (Value.to_list_exn mapping) in
+        let buf = Buffer.create (String.length s) in
+        let n = String.length s in
+        let rec go i =
+          if i < n then begin
+            let matched =
+              List.find_opt
+                (fun (k, _) ->
+                  k <> ""
+                  && String.length k <= n - i
+                  && String.sub s i (String.length k) = k)
+                pairs
+            in
+            match matched with
+            | Some (k, v) ->
+              Buffer.add_string buf v;
+              go (i + String.length k)
+            | None ->
+              Buffer.add_char buf s.[i];
+              go (i + 1)
+          end
+        in
+        go 0;
+        Buffer.contents buf
+      | sub :: _ -> err "unsupported string subcommand %S or wrong # args" sub
+      | [] -> err "wrong # args: should be \"string subcommand ...\"");
+
+  reg "append" (fun t args ->
+      match args with
+      | name :: parts ->
+        let cur = Option.value ~default:"" (get_ref_opt t name) in
+        let v = cur ^ String.concat "" parts in
+        set_ref t name v;
+        v
+      | [] -> err "wrong # args: should be \"append varName ?value ...?\"");
+
+  reg "format" (fun _ args ->
+      match args with
+      | fmt :: rest -> (
+        match Strutil.format fmt rest with Ok s -> s | Error e -> err "format: %s" e)
+      | [] -> err "wrong # args: should be \"format formatString ?arg ...?\"");
+
+  reg "split" (fun _ args ->
+      match args with
+      | [ s ] -> Value.of_list (Strutil.split s ~on:" \t\n")
+      | [ s; on ] -> Value.of_list (Strutil.split s ~on)
+      | _ -> err "wrong # args: should be \"split string ?splitChars?\"");
+
+  reg "join" (fun _ args ->
+      match args with
+      | [ l ] -> String.concat " " (Value.to_list_exn l)
+      | [ l; sep ] -> String.concat sep (Value.to_list_exn l)
+      | _ -> err "wrong # args: should be \"join list ?joinString?\"");
+
+  reg "regexp" (fun t args ->
+      let nocase, args =
+        match args with
+        | "-nocase" :: rest -> (true, rest)
+        | "--" :: rest -> (false, rest)
+        | rest -> (false, rest)
+      in
+      match args with
+      | pattern :: subject :: vars -> (
+        let re =
+          match Regex.compile ~nocase pattern with
+          | Ok re -> re
+          | Error msg -> err "regexp: %s" msg
+        in
+        match Regex.search re subject with
+        | None -> "0"
+        | Some r ->
+          let whole, _, _ = r.Regex.whole in
+          List.iteri
+            (fun i var ->
+              let text =
+                if i = 0 then whole
+                else if i - 1 < Array.length r.Regex.groups then
+                  match r.Regex.groups.(i - 1) with
+                  | Some (g, _, _) -> g
+                  | None -> ""
+                else ""
+              in
+              set_ref t var text)
+            vars;
+          "1")
+      | _ -> err "wrong # args: should be \"regexp ?-nocase? exp string ?matchVar ...?\"");
+
+  reg "regsub" (fun t args ->
+      let rec opts all nocase = function
+        | "-all" :: rest -> opts true nocase rest
+        | "-nocase" :: rest -> opts all true rest
+        | "--" :: rest -> (all, nocase, rest)
+        | rest -> (all, nocase, rest)
+      in
+      let all, nocase, args = opts false false args in
+      match args with
+      | [ pattern; subject; template ] | [ pattern; subject; template; _ ] -> (
+        let re =
+          match Regex.compile ~nocase pattern with
+          | Ok re -> re
+          | Error msg -> err "regsub: %s" msg
+        in
+        let result, count = Regex.replace re ~all ~template subject in
+        match args with
+        | [ _; _; _; var ] ->
+          set_ref t var result;
+          Value.of_int count
+        | _ -> result)
+      | _ ->
+        err "wrong # args: should be \"regsub ?-all? ?-nocase? exp string subSpec ?varName?\"")
+
+let install_lists t0 =
+  let reg name fn = register t0 name fn in
+
+  reg "list" (fun _ args -> Value.of_list args);
+
+  reg "llength" (fun _ args ->
+      match args with
+      | [ l ] -> Value.of_int (List.length (Value.to_list_exn l))
+      | _ -> err "wrong # args: should be \"llength list\"");
+
+  reg "lindex" (fun _ args ->
+      match args with
+      | [ l ] -> l
+      | [ l; i ] ->
+        let items = Value.to_list_exn l in
+        let len = List.length items in
+        let i = index_arg ~len i in
+        if i < 0 || i >= len then "" else nth items i
+      | _ -> err "wrong # args: should be \"lindex list ?index?\"");
+
+  reg "lappend" (fun t args ->
+      match args with
+      | name :: items ->
+        let cur = Option.value ~default:"" (get_ref_opt t name) in
+        let l = Value.to_list_exn cur @ items in
+        let v = Value.of_list l in
+        set_ref t name v;
+        v
+      | [] -> err "wrong # args: should be \"lappend varName ?value ...?\"");
+
+  reg "lrange" (fun _ args ->
+      match args with
+      | [ l; first; last ] ->
+        let items = Value.to_list_exn l in
+        let len = List.length items in
+        let first = max 0 (index_arg ~len first) in
+        let last = min (len - 1) (index_arg ~len last) in
+        if first > last then ""
+        else Value.of_list (List.filteri (fun i _ -> i >= first && i <= last) items)
+      | _ -> err "wrong # args: should be \"lrange list first last\"");
+
+  reg "lsort" (fun _ args ->
+      let rec split_opts opts args =
+        match args with
+        | [ l ] -> (List.rev opts, l)
+        | opt :: rest when String.length opt > 0 && opt.[0] = '-' -> split_opts (opt :: opts) rest
+        | _ -> err "wrong # args: should be \"lsort ?options? list\""
+      in
+      let opts, l = split_opts [] args in
+      let items = Value.to_list_exn l in
+      let numeric = List.mem "-integer" opts || List.mem "-real" opts in
+      let cmp a b =
+        if numeric then
+          let fa =
+            match Value.float_of a with Some f -> f | None -> err "expected number, got %S" a
+          in
+          let fb =
+            match Value.float_of b with Some f -> f | None -> err "expected number, got %S" b
+          in
+          compare fa fb
+        else compare a b
+      in
+      let cmp = if List.mem "-decreasing" opts then fun a b -> cmp b a else cmp in
+      let sorted = List.stable_sort cmp items in
+      let sorted =
+        if List.mem "-unique" opts then
+          List.rev
+            (List.fold_left (fun acc x -> match acc with y :: _ when cmp x y = 0 -> acc | _ -> x :: acc) [] sorted)
+        else sorted
+      in
+      Value.of_list sorted);
+
+  reg "lsearch" (fun _ args ->
+      let glob, l, pat =
+        match args with
+        | [ "-exact"; l; p ] -> (false, l, p)
+        | [ "-glob"; l; p ] -> (true, l, p)
+        | [ l; p ] -> (true, l, p) (* Tcl defaults to glob matching *)
+        | _ -> err "wrong # args: should be \"lsearch ?mode? list pattern\""
+      in
+      let items = Value.to_list_exn l in
+      let matches x = if glob then Strutil.glob_match ~pattern:pat x else String.equal pat x in
+      let rec go i = function
+        | [] -> -1
+        | x :: rest -> if matches x then i else go (i + 1) rest
+      in
+      Value.of_int (go 0 items));
+
+  reg "linsert" (fun _ args ->
+      match args with
+      | l :: i :: (_ :: _ as items) ->
+        let cur = Value.to_list_exn l in
+        let len = List.length cur in
+        let i = max 0 (min len (index_arg ~len:(len + 1) i)) in
+        let before = List.filteri (fun j _ -> j < i) cur in
+        let after = List.filteri (fun j _ -> j >= i) cur in
+        Value.of_list (before @ items @ after)
+      | _ -> err "wrong # args: should be \"linsert list index element ?element ...?\"");
+
+  reg "lreverse" (fun _ args ->
+      match args with
+      | [ l ] -> Value.of_list (List.rev (Value.to_list_exn l))
+      | _ -> err "wrong # args: should be \"lreverse list\"");
+
+  reg "lassign" (fun t args ->
+      match args with
+      | l :: (_ :: _ as names) ->
+        let items = Value.to_list_exn l in
+        let rec go names items =
+          match names with
+          | [] -> Value.of_list items
+          | n :: nrest -> (
+            match items with
+            | [] ->
+              set_var t n "";
+              go nrest []
+            | x :: irest ->
+              set_var t n x;
+              go nrest irest)
+        in
+        go names items
+      | _ -> err "wrong # args: should be \"lassign list varName ?varName ...?\"");
+
+  reg "concat" (fun _ args ->
+      Value.of_list (List.concat_map Value.to_list_exn args));
+
+  reg "lrepeat" (fun _ args ->
+      match args with
+      | count :: (_ :: _ as items) ->
+        let n = int_arg "count" count in
+        if n < 0 then err "lrepeat: negative count";
+        Value.of_list (List.concat (List.init n (fun _ -> items)))
+      | _ -> err "wrong # args: should be \"lrepeat count ?value ...?\"");
+
+  reg "lmap" (fun t args ->
+      match args with
+      | [ varspec; listval; body ] ->
+        let vars = Value.to_list_exn varspec in
+        if vars = [] then err "lmap: empty variable list";
+        let items = Value.to_list_exn listval in
+        let out = ref [] in
+        let rec loop items =
+          match items with
+          | [] -> ()
+          | _ ->
+            let rec bind vs items =
+              match vs with
+              | [] -> items
+              | v :: vrest -> (
+                match items with
+                | [] ->
+                  set_var t v "";
+                  bind vrest []
+                | x :: irest ->
+                  set_var t v x;
+                  bind vrest irest)
+            in
+            let rest = bind vars items in
+            (try out := eval_string t body :: !out with Continue_exc -> ());
+            loop rest
+        in
+        (try loop items with Break_exc -> ());
+        Value.of_list (List.rev !out)
+      | _ -> err "wrong # args: should be \"lmap varList list body\"")
+
+let create ?step_limit ?(max_depth = 256) () =
+  let t =
+    {
+      commands = Hashtbl.create 64;
+      proc_bodies = Hashtbl.create 16;
+      globals = Hashtbl.create 32;
+      global_arrays = Hashtbl.create 8;
+      frames = [];
+      steps = 0;
+      limit = step_limit;
+      depth = 0;
+      max_depth;
+      parse_cache = Hashtbl.create 64;
+      out_buf = Buffer.create 256;
+      output = ignore;
+    }
+  in
+  t.output <- (fun s -> Buffer.add_string t.out_buf s);
+  install_core t;
+  install_strings t;
+  install_lists t;
+  t

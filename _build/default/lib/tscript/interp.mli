@@ -1,0 +1,81 @@
+(** The TScript interpreter.
+
+    One interpreter instance is the "place where agents execute" of the
+    paper (§6): each simulated site runs one.  Agent code arrives as source
+    text (in a CODE folder), is parsed here, and runs against the commands
+    the host has registered — the TACOMA primitives ([meet], folder access,
+    migration) are host commands, not language features, exactly as in the
+    Tcl prototype.
+
+    Resource metering: every command execution consumes one step; when the
+    step budget is exhausted the run aborts with {!Resource_exhausted},
+    which deliberately cannot be caught by the script's own [catch] — this
+    is the enforcement hook for the paper's §3 observation that charging
+    for service limits the damage a run-away agent can do. *)
+
+type t
+
+exception Error_exc of string
+(** A script-level error ([error], bad arguments, unknown command...).
+    Caught by the script's [catch] and by {!eval}. *)
+
+exception Return_exc of string
+exception Break_exc
+exception Continue_exc
+(** Control-flow signals; leaking past their construct is an error. *)
+
+exception Resource_exhausted
+(** Step budget used up.  Not catchable from inside the script. *)
+
+val create : ?step_limit:int -> ?max_depth:int -> unit -> t
+(** [step_limit] defaults to unlimited; [max_depth] (proc-call nesting)
+    defaults to 256.  The standard command set is pre-installed. *)
+
+(** {1 Evaluation} *)
+
+val eval : t -> string -> (string, string) result
+(** Evaluate a script; [Ok result-of-last-command] or [Error message].
+    [return] at top level yields its value.  {!Resource_exhausted} is NOT
+    caught here — the host decides what an aborted agent means. *)
+
+val eval_exn : t -> string -> string
+(** @raise Error_exc instead of returning [Error]. *)
+
+val call : t -> string -> string list -> string
+(** [call t cmd args] invokes a command or proc directly from the host.
+    @raise Error_exc on script errors. *)
+
+(** {1 Host commands} *)
+
+val register : t -> string -> (t -> string list -> string) -> unit
+(** Host commands may raise {!Error_exc} to signal script-visible errors.
+    Registering over an existing name replaces it. *)
+
+val unregister : t -> string -> unit
+val has_command : t -> string -> bool
+val command_names : t -> string list
+
+(** {1 Variables (global scope)} *)
+
+val set_var : t -> string -> string -> unit
+val get_var_opt : t -> string -> string option
+val unset_var : t -> string -> unit
+
+(** {1 Output}
+
+    [puts] appends to an internal buffer by default; hosts can redirect. *)
+
+val set_output : t -> (string -> unit) -> unit
+val take_output : t -> string
+(** Return and clear the buffered output. *)
+
+(** {1 Metering} *)
+
+val steps_used : t -> int
+val set_step_limit : t -> int option -> unit
+val step_limit : t -> int option
+val reset_steps : t -> unit
+
+val charge : t -> int -> unit
+(** Host commands use this to bill extra steps for expensive operations.
+    @raise Resource_exhausted when the budget runs out. *)

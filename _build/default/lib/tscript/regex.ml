@@ -1,0 +1,365 @@
+type node =
+  | Char of char
+  | Any
+  | Class of (char * char) list * bool (* ranges, negated *)
+  | Start
+  | End
+  | Seq of node list
+  | Alt of node list
+  | Group of int * node
+  | Repeat of node * int * int option (* min, max (None = unbounded) *)
+
+type t = { node : node; ngroups : int; nocase : bool }
+
+exception Bad of string
+
+(* --- pattern parser ------------------------------------------------------- *)
+
+type pstate = { src : string; mutable pos : int; mutable groups : int }
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+let advance st = st.pos <- st.pos + 1
+
+let digit_ranges = [ ('0', '9') ]
+let word_ranges = [ ('a', 'z'); ('A', 'Z'); ('0', '9'); ('_', '_') ]
+let space_ranges = [ (' ', ' '); ('\t', '\t'); ('\n', '\n'); ('\r', '\r'); ('\012', '\012') ]
+
+let escape_node c =
+  match c with
+  | 'd' -> Class (digit_ranges, false)
+  | 'D' -> Class (digit_ranges, true)
+  | 'w' -> Class (word_ranges, false)
+  | 'W' -> Class (word_ranges, true)
+  | 's' -> Class (space_ranges, false)
+  | 'S' -> Class (space_ranges, true)
+  | 'n' -> Char '\n'
+  | 't' -> Char '\t'
+  | 'r' -> Char '\r'
+  | other -> Char other
+
+(* character class body: assumes '[' consumed *)
+let parse_class st =
+  let negated =
+    match peek st with
+    | Some '^' ->
+      advance st;
+      true
+    | _ -> false
+  in
+  let ranges = ref [] in
+  let add_range a b = ranges := (a, b) :: !ranges in
+  let first = ref true in
+  let rec go () =
+    match peek st with
+    | None -> raise (Bad "unterminated character class")
+    | Some ']' when not !first -> advance st
+    | Some c ->
+      first := false;
+      advance st;
+      let c =
+        if c = '\\' then (
+          match peek st with
+          | None -> raise (Bad "trailing backslash in class")
+          | Some e -> (
+            advance st;
+            match escape_node e with
+            | Char ch -> ch
+            | Class (rs, false) ->
+              List.iter (fun (a, b) -> add_range a b) rs;
+              '\000' (* sentinel: ranges already added *)
+            | Class (_, true) -> raise (Bad "negated escape inside class")
+            | _ -> e))
+        else c
+      in
+      if c <> '\000' then begin
+        match peek st with
+        | Some '-' when st.pos + 1 < String.length st.src && st.src.[st.pos + 1] <> ']' ->
+          advance st;
+          (match peek st with
+          | Some hi ->
+            advance st;
+            if hi < c then raise (Bad "inverted range in class");
+            add_range c hi
+          | None -> raise (Bad "unterminated character class"))
+        | _ -> add_range c c
+      end;
+      go ()
+  in
+  go ();
+  Class (!ranges, negated)
+
+let parse_bound st =
+  (* '{' consumed: n | n, | n,m followed by '}' *)
+  let read_int () =
+    let start = st.pos in
+    while (match peek st with Some ('0' .. '9') -> true | _ -> false) do
+      advance st
+    done;
+    if st.pos = start then None
+    else Some (int_of_string (String.sub st.src start (st.pos - start)))
+  in
+  match read_int () with
+  | None -> raise (Bad "expected number in {}")
+  | Some n -> (
+    match peek st with
+    | Some '}' ->
+      advance st;
+      (n, Some n)
+    | Some ',' -> (
+      advance st;
+      let m = read_int () in
+      match peek st with
+      | Some '}' ->
+        advance st;
+        (match m with Some m when m < n -> raise (Bad "inverted bound {n,m}") | _ -> ());
+        (n, m)
+      | _ -> raise (Bad "unterminated {} bound"))
+    | _ -> raise (Bad "unterminated {} bound"))
+
+let rec parse_alt st =
+  let first = parse_seq st in
+  let rec go acc =
+    match peek st with
+    | Some '|' ->
+      advance st;
+      go (parse_seq st :: acc)
+    | _ -> List.rev acc
+  in
+  match go [ first ] with [ one ] -> one | many -> Alt many
+
+and parse_seq st =
+  let rec go acc =
+    match peek st with
+    | None | Some '|' | Some ')' -> List.rev acc
+    | Some _ -> go (parse_quantified st :: acc)
+  in
+  match go [] with [ one ] -> one | many -> Seq many
+
+and parse_quantified st =
+  let atom = parse_atom st in
+  let rec wrap node =
+    match peek st with
+    | Some '*' ->
+      advance st;
+      wrap (Repeat (node, 0, None))
+    | Some '+' ->
+      advance st;
+      wrap (Repeat (node, 1, None))
+    | Some '?' ->
+      advance st;
+      wrap (Repeat (node, 0, Some 1))
+    | Some '{' ->
+      advance st;
+      let lo, hi = parse_bound st in
+      wrap (Repeat (node, lo, hi))
+    | _ -> node
+  in
+  wrap atom
+
+and parse_atom st =
+  match peek st with
+  | None -> raise (Bad "unexpected end of pattern")
+  | Some '(' ->
+    advance st;
+    st.groups <- st.groups + 1;
+    let idx = st.groups in
+    let inner = parse_alt st in
+    (match peek st with
+    | Some ')' -> advance st
+    | _ -> raise (Bad "unbalanced parenthesis"));
+    Group (idx, inner)
+  | Some '[' ->
+    advance st;
+    parse_class st
+  | Some '.' ->
+    advance st;
+    Any
+  | Some '^' ->
+    advance st;
+    Start
+  | Some '$' ->
+    advance st;
+    End
+  | Some '\\' -> (
+    advance st;
+    match peek st with
+    | None -> raise (Bad "trailing backslash")
+    | Some e ->
+      advance st;
+      escape_node e)
+  | Some (('*' | '+' | '?') as c) -> raise (Bad (Printf.sprintf "quantifier %c with nothing to repeat" c))
+  | Some ')' -> raise (Bad "unbalanced parenthesis")
+  | Some c ->
+    advance st;
+    Char c
+
+let compile ?(nocase = false) pattern =
+  let st = { src = pattern; pos = 0; groups = 0 } in
+  match parse_alt st with
+  | node ->
+    if st.pos < String.length pattern then Error "trailing characters in pattern"
+    else Ok { node; ngroups = st.groups; nocase }
+  | exception Bad msg -> Error msg
+
+let compile_exn ?nocase pattern =
+  match compile ?nocase pattern with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Regex.compile_exn: " ^ msg)
+
+(* --- matcher ---------------------------------------------------------------- *)
+
+type match_result = {
+  whole : string * int * int;
+  groups : (string * int * int) option array;
+}
+
+let fold_char nocase c = if nocase then Char.lowercase_ascii c else c
+
+let in_class nocase ranges negated c =
+  let c' = fold_char nocase c in
+  let hit =
+    List.exists
+      (fun (a, b) ->
+        let a' = fold_char nocase a and b' = fold_char nocase b in
+        (c' >= a' && c' <= b') || (c >= a && c <= b))
+      ranges
+  in
+  hit <> negated
+
+(* backtracking CPS matcher; [caps] holds (start, end) per group and is
+   restored on failure so alternatives see clean state *)
+let match_at t s start =
+  let len = String.length s in
+  let caps = Array.make (t.ngroups + 1) None in
+  let rec m node pos k =
+    match node with
+    | Char c ->
+      pos < len && fold_char t.nocase s.[pos] = fold_char t.nocase c && k (pos + 1)
+    | Any -> pos < len && k (pos + 1)
+    | Class (ranges, negated) -> pos < len && in_class t.nocase ranges negated s.[pos] && k (pos + 1)
+    | Start -> pos = 0 && k pos
+    | End -> pos = len && k pos
+    | Seq nodes ->
+      let rec chain nodes pos =
+        match nodes with [] -> k pos | n :: rest -> m n pos (fun p -> chain rest p)
+      in
+      chain nodes pos
+    | Alt alts ->
+      List.exists
+        (fun a ->
+          let saved = Array.copy caps in
+          if m a pos k then true
+          else begin
+            Array.blit saved 0 caps 0 (Array.length caps);
+            false
+          end)
+        alts
+    | Group (i, inner) ->
+      let saved = caps.(i) in
+      let ok =
+        m inner pos (fun p ->
+            let before = caps.(i) in
+            caps.(i) <- Some (pos, p);
+            if k p then true
+            else begin
+              caps.(i) <- before;
+              false
+            end)
+      in
+      if not ok then caps.(i) <- saved;
+      ok
+    | Repeat (inner, min_r, max_r) ->
+      let rec go count pos =
+        let can_more = match max_r with Some m -> count < m | None -> true in
+        let more =
+          can_more
+          && m inner pos (fun p ->
+                 if p = pos then count + 1 >= min_r && k p (* empty match: stop looping *)
+                 else go (count + 1) p)
+        in
+        if more then true else count >= min_r && k pos
+      in
+      go 0 pos
+  in
+  if m t.node start (fun p -> caps.(0) <- Some (start, p); true) then
+    match caps.(0) with
+    | Some (a, b) ->
+      Some
+        {
+          whole = (String.sub s a (b - a), a, b);
+          groups =
+            Array.init t.ngroups (fun i ->
+                match caps.(i + 1) with
+                | Some (ga, gb) -> Some (String.sub s ga (gb - ga), ga, gb)
+                | None -> None);
+        }
+    | None -> None
+  else None
+
+let search t ?(start = 0) s =
+  let len = String.length s in
+  let rec go pos = if pos > len then None else
+      match match_at t s pos with Some r -> Some r | None -> go (pos + 1)
+  in
+  go (max 0 start)
+
+let matches t s = Option.is_some (search t s)
+
+(* --- replacement -------------------------------------------------------------- *)
+
+let expand_template template (r : match_result) =
+  let buf = Buffer.create (String.length template + 16) in
+  let n = String.length template in
+  let whole, _, _ = r.whole in
+  let rec go i =
+    if i < n then begin
+      (match template.[i] with
+      | '&' ->
+        Buffer.add_string buf whole;
+        go (i + 1)
+      | '\\' when i + 1 < n -> (
+        match template.[i + 1] with
+        | '0' ->
+          Buffer.add_string buf whole;
+          go (i + 2)
+        | '1' .. '9' as d ->
+          let gi = Char.code d - Char.code '1' in
+          (if gi < Array.length r.groups then
+             match r.groups.(gi) with
+             | Some (text, _, _) -> Buffer.add_string buf text
+             | None -> ());
+          go (i + 2)
+        | c ->
+          Buffer.add_char buf c;
+          go (i + 2))
+      | c ->
+        Buffer.add_char buf c;
+        go (i + 1))
+    end
+  in
+  go 0;
+  Buffer.contents buf
+
+let replace t ?(all = false) ~template s =
+  let len = String.length s in
+  let buf = Buffer.create len in
+  let count = ref 0 in
+  let rec go pos =
+    if pos > len then ()
+    else
+      match (if (not all) && !count > 0 then None else search t ~start:pos s) with
+      | None -> Buffer.add_string buf (String.sub s pos (len - pos))
+      | Some r ->
+        let _, a, b = r.whole in
+        Buffer.add_string buf (String.sub s pos (a - pos));
+        Buffer.add_string buf (expand_template template r);
+        incr count;
+        if b = a then begin
+          (* empty match: emit one char and move on to guarantee progress *)
+          if b < len then Buffer.add_char buf s.[b];
+          go (b + 1)
+        end
+        else go b
+  in
+  go 0;
+  (Buffer.contents buf, !count)

@@ -1,0 +1,31 @@
+(** A compact backtracking regular-expression engine for the [regexp] and
+    [regsub] commands.
+
+    Supported syntax: literals, [.], character classes [\[a-z\]] /
+    [\[^...\]], anchors [^] and [$], quantifiers [*], [+], [?], [{n}],
+    [{n,}], [{n,m}] (all greedy, with backtracking), alternation [|],
+    capturing groups [(...)], and the escapes [\d \D \w \W \s \S] plus
+    backslash-literal for everything else. *)
+
+type t
+
+val compile : ?nocase:bool -> string -> (t, string) result
+val compile_exn : ?nocase:bool -> string -> t
+(** @raise Invalid_argument on a malformed pattern. *)
+
+type match_result = {
+  whole : string * int * int;       (** matched text, start, end (exclusive) *)
+  groups : (string * int * int) option array;
+      (** capture groups 1..n; [None] for groups that did not participate *)
+}
+
+val search : t -> ?start:int -> string -> match_result option
+(** Find the leftmost match at or after [start]. *)
+
+val matches : t -> string -> bool
+
+val replace : t -> ?all:bool -> template:string -> string -> string * int
+(** Substitute matches with [template], where [&] (or [\0]) inserts the
+    whole match and [\1]..[\9] insert capture groups; returns the new
+    string and the number of substitutions.  Empty matches advance by one
+    character to guarantee progress. *)

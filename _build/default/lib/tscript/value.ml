@@ -1,0 +1,154 @@
+let int_of s = int_of_string_opt (String.trim s)
+
+let float_of s =
+  match float_of_string_opt (String.trim s) with
+  | Some f -> Some f
+  | None -> Option.map float_of_int (int_of s)
+
+let truthy s =
+  match String.lowercase_ascii (String.trim s) with
+  | "" | "0" | "false" | "no" | "off" -> false
+  | "1" | "true" | "yes" | "on" -> true
+  | other -> (
+    match float_of_string_opt other with Some f -> f <> 0.0 | None -> true)
+
+let of_bool b = if b then "1" else "0"
+let of_int = string_of_int
+
+let of_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else
+    let s = Printf.sprintf "%.12g" f in
+    s
+
+(* An element needs quoting if it is empty or contains list metacharacters. *)
+let needs_quoting s =
+  s = ""
+  || String.exists
+       (fun c ->
+         match c with
+         | ' ' | '\t' | '\n' | '\r' | ';' | '"' | '\\' | '{' | '}' | '[' | ']' | '$' -> true
+         | _ -> false)
+       s
+
+let braces_balanced s =
+  let depth = ref 0 in
+  let ok = ref true in
+  String.iter
+    (fun c ->
+      if c = '{' then incr depth
+      else if c = '}' then begin
+        decr depth;
+        if !depth < 0 then ok := false
+      end)
+    s;
+  !ok && !depth = 0
+
+let backslash_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | ' ' | ';' | '"' | '\\' | '{' | '}' | '[' | ']' | '$' ->
+        Buffer.add_char b '\\';
+        Buffer.add_char b c
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | _ -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let quote_element s =
+  if not (needs_quoting s) then s
+    (* backslashes inside braces would be re-interpreted as escape pairs on
+       reparse, so only brace-quote backslash-free strings *)
+  else if braces_balanced s && not (String.contains s '\\') then "{" ^ s ^ "}"
+  else backslash_escape s
+
+let of_list elems = String.concat " " (List.map quote_element elems)
+
+exception Bad of string
+
+let to_list_aux s =
+  let n = String.length s in
+  let out = ref [] in
+  let buf = Buffer.create 16 in
+  let i = ref 0 in
+  let is_space c = c = ' ' || c = '\t' || c = '\n' || c = '\r' in
+  let flush_word started = if started then out := Buffer.contents buf :: !out in
+  let unescape c =
+    match c with 'n' -> '\n' | 't' -> '\t' | 'r' -> '\r' | other -> other
+  in
+  while !i < n do
+    (* skip leading whitespace *)
+    while !i < n && is_space s.[!i] do
+      incr i
+    done;
+    if !i < n then begin
+      Buffer.clear buf;
+      if s.[!i] = '{' then begin
+        let depth = ref 1 in
+        incr i;
+        while !i < n && !depth > 0 do
+          let c = s.[!i] in
+          if c = '\\' && !i + 1 < n then begin
+            Buffer.add_char buf c;
+            Buffer.add_char buf s.[!i + 1];
+            i := !i + 2
+          end
+          else begin
+            if c = '{' then incr depth else if c = '}' then decr depth;
+            if !depth > 0 then Buffer.add_char buf c;
+            incr i
+          end
+        done;
+        if !depth > 0 then raise (Bad "unbalanced braces in list");
+        if !i < n && not (is_space s.[!i]) then raise (Bad "junk after closing brace");
+        out := Buffer.contents buf :: !out
+      end
+      else if s.[!i] = '"' then begin
+        incr i;
+        let closed = ref false in
+        while !i < n && not !closed do
+          let c = s.[!i] in
+          if c = '\\' && !i + 1 < n then begin
+            Buffer.add_char buf (unescape s.[!i + 1]);
+            i := !i + 2
+          end
+          else if c = '"' then begin
+            closed := true;
+            incr i
+          end
+          else begin
+            Buffer.add_char buf c;
+            incr i
+          end
+        done;
+        if not !closed then raise (Bad "unbalanced quotes in list");
+        out := Buffer.contents buf :: !out
+      end
+      else begin
+        let stop = ref false in
+        while !i < n && not !stop do
+          let c = s.[!i] in
+          if is_space c then stop := true
+          else if c = '\\' && !i + 1 < n then begin
+            Buffer.add_char buf (unescape s.[!i + 1]);
+            i := !i + 2
+          end
+          else begin
+            Buffer.add_char buf c;
+            incr i
+          end
+        done;
+        flush_word true
+      end
+    end
+  done;
+  List.rev !out
+
+let to_list s = try Ok (to_list_aux s) with Bad msg -> Error msg
+
+let to_list_exn s =
+  match to_list s with Ok l -> l | Error msg -> invalid_arg ("Value.to_list_exn: " ^ msg)

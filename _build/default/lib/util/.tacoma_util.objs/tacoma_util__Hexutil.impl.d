@@ -1,0 +1,1 @@
+lib/util/hexutil.ml: Bytes Char String

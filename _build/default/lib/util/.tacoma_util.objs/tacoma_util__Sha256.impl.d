@@ -1,0 +1,1 @@
+lib/util/sha256.ml: Array Bytes Char Hexutil Int32 Int64 String

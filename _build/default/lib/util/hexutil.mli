@@ -1,0 +1,9 @@
+(** Hex encoding for binary folder contents, digests and serial numbers. *)
+
+val encode : string -> string
+(** Lowercase hex of every byte. *)
+
+val decode : string -> string
+(** Inverse of [encode].  @raise Invalid_argument on malformed input. *)
+
+val is_hex : string -> bool

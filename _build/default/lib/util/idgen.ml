@@ -1,0 +1,10 @@
+type t = { prefix : string; mutable counter : int }
+
+let create ?(prefix = "id") () = { prefix; counter = 0 }
+
+let next_int t =
+  let n = t.counter in
+  t.counter <- n + 1;
+  n
+
+let next t = Printf.sprintf "%s-%d" t.prefix (next_int t)

@@ -1,0 +1,12 @@
+(** Monotonic id generators.  Each subsystem keeps its own generator so that
+    ids are stable under changes elsewhere in the system. *)
+
+type t
+
+val create : ?prefix:string -> unit -> t
+
+val next : t -> string
+(** [next t] is a fresh id such as ["agent-17"]. *)
+
+val next_int : t -> int
+(** Fresh integer id, starting at 0. *)

@@ -1,0 +1,64 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = seed }
+
+(* splitmix64: Steele, Lea & Flood, "Fast splittable pseudorandom number
+   generators" (OOPSLA 2014).  Chosen because split streams are cheap and
+   statistically independent, which is what keeps experiments stable when
+   new consumers are added. *)
+let int64 t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t = create (int64 t)
+
+let int t bound =
+  assert (bound > 0);
+  let mask = Int64.shift_right_logical (int64 t) 1 in
+  Int64.to_int (Int64.rem mask (Int64.of_int bound))
+
+let float t =
+  (* 53 random bits scaled into [0, 1). *)
+  let bits = Int64.shift_right_logical (int64 t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+let range_float t lo hi = lo +. ((hi -. lo) *. float t)
+
+let exponential t ~mean =
+  let u = float t in
+  -.mean *. log (1.0 -. u)
+
+let gaussian t ~mu ~sigma =
+  let u1 = max epsilon_float (float t) in
+  let u2 = float t in
+  let z = sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2) in
+  mu +. (sigma *. z)
+
+let pick t arr =
+  assert (Array.length arr > 0);
+  arr.(int t (Array.length arr))
+
+let pick_list t l =
+  match l with
+  | [] -> invalid_arg "Rng.pick_list: empty list"
+  | _ -> List.nth l (int t (List.length l))
+
+let shuffle t arr =
+  let n = Array.length arr in
+  for i = n - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let bytes t n =
+  String.init n (fun _ -> Char.chr (int t 256))

@@ -1,0 +1,47 @@
+(** Deterministic splittable pseudo-random number generator (splitmix64).
+
+    Every stochastic component of the simulator draws from one of these
+    streams.  Streams are split, never shared, so adding a new consumer
+    does not perturb the draws seen by existing ones — experiments stay
+    reproducible as the system grows. *)
+
+type t
+
+val create : int64 -> t
+(** [create seed] makes a fresh stream.  Equal seeds give equal streams. *)
+
+val split : t -> t
+(** [split t] derives an independent stream and advances [t]. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit draw. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  [bound] must be positive. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val bool : t -> bool
+
+val range_float : t -> float -> float -> float
+(** [range_float t lo hi] is uniform in [\[lo, hi)]. *)
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed draw with the given mean; used for failure
+    inter-arrival times. *)
+
+val gaussian : t -> mu:float -> sigma:float -> float
+(** Normally distributed draw (Box–Muller). *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform choice from a non-empty array. *)
+
+val pick_list : t -> 'a list -> 'a
+(** Uniform choice from a non-empty list. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val bytes : t -> int -> string
+(** [bytes t n] is an [n]-byte uniformly random string. *)

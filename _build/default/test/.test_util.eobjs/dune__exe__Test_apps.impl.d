@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Apps Array Baseline List Netsim Option String Tacoma_core Tacoma_util

@@ -1,0 +1,1 @@
+test/test_broker.ml: Alcotest Broker List Netsim Option Tacoma_core Tacoma_util

@@ -1,0 +1,1 @@
+test/test_cash.ml: Alcotest Cash List Netsim Option QCheck2 QCheck_alcotest Result String Tacoma_core

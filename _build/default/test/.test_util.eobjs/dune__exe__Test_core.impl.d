@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Fun Guard Hashtbl Horus Int64 List Netsim Option Printf QCheck2 QCheck_alcotest String Tacoma_core Tacoma_util

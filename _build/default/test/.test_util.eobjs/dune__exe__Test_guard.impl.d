@@ -1,0 +1,1 @@
+test/test_guard.ml: Alcotest Guard List Netsim Printf Tacoma_core

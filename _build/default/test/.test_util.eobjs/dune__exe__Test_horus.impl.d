@@ -1,0 +1,1 @@
+test/test_horus.ml: Alcotest Array Fun Horus List Netsim Printf QCheck2 QCheck_alcotest Tacoma_util

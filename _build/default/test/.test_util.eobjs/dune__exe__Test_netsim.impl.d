@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Array Int64 List Netsim Option QCheck2 QCheck_alcotest Queue Tacoma_util

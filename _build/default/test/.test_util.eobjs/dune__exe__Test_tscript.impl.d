@@ -1,0 +1,1 @@
+test/test_tscript.ml: Alcotest Array Buffer List Option Printf QCheck2 QCheck_alcotest Result String Tscript

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Fun List QCheck2 QCheck_alcotest String Tacoma_util

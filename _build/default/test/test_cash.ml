@@ -1,0 +1,472 @@
+(* Tests for electronic cash (paper §3): mint, wallets, the validation
+   agent's retire-and-reissue semantics, and the witnessed-audit protocol. *)
+
+module Ecu = Cash.Ecu
+module Mint = Cash.Mint
+module Wallet = Cash.Wallet
+module Validator = Cash.Validator
+module Audit = Cash.Audit
+module Kernel = Tacoma_core.Kernel
+module Briefcase = Tacoma_core.Briefcase
+module Folder = Tacoma_core.Folder
+module Net = Netsim.Net
+module Topology = Netsim.Topology
+
+let check = Alcotest.check
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let mint () = Mint.create ~secret:"the-mint-secret" ()
+
+(* --- ecu --- *)
+
+let test_ecu_wire_roundtrip () =
+  let m = mint () in
+  let e = Mint.issue m ~amount:250 in
+  check Alcotest.(option string) "roundtrip" (Some (Ecu.wire e))
+    (Result.to_option (Result.map Ecu.wire (Ecu.of_wire (Ecu.wire e))))
+
+let test_ecu_malformed () =
+  List.iter
+    (fun w -> Alcotest.(check bool) w true (Result.is_error (Ecu.of_wire w)))
+    [ ""; "abc"; "10:zz:aa"; "-5:00:00"; "0:00:00"; "10:0011"; "x:00:11:22" ]
+
+(* --- mint --- *)
+
+let test_issue_and_validate () =
+  let m = mint () in
+  let e = Mint.issue m ~amount:100 in
+  Alcotest.(check bool) "signature valid" true (Mint.signature_valid m e);
+  Alcotest.(check bool) "live" true (Mint.live m e);
+  match Mint.validate_and_reissue m e with
+  | Ok fresh ->
+    check Alcotest.int "amount preserved" 100 fresh.Ecu.amount;
+    Alcotest.(check bool) "new serial" true (fresh.Ecu.serial <> e.Ecu.serial);
+    Alcotest.(check bool) "old bill retired" false (Mint.live m e);
+    Alcotest.(check bool) "fresh bill live" true (Mint.live m fresh)
+  | Error _ -> Alcotest.fail "validation of genuine bill failed"
+
+let test_double_spend_detected () =
+  let m = mint () in
+  let e = Mint.issue m ~amount:100 in
+  let copy = e in
+  (match Mint.validate_and_reissue m e with Ok _ -> () | Error _ -> Alcotest.fail "first spend");
+  match Mint.validate_and_reissue m copy with
+  | Error Mint.Double_spent -> ()
+  | Ok _ -> Alcotest.fail "copy accepted!"
+  | Error Mint.Forged -> Alcotest.fail "wrong failure"
+
+let test_forgery_detected () =
+  let m = mint () in
+  let e = Mint.issue m ~amount:100 in
+  let forged = { e with Ecu.amount = 10_000 } in
+  (match Mint.validate_and_reissue m forged with
+  | Error Mint.Forged -> ()
+  | Ok _ | Error Mint.Double_spent -> Alcotest.fail "forged amount accepted");
+  (* home-made bill without the mint key *)
+  let fake =
+    { Ecu.amount = 500; serial = String.make 32 'a'; signature = String.make 64 'b' }
+  in
+  match Mint.validate_and_reissue m fake with
+  | Error Mint.Forged -> ()
+  | Ok _ | Error Mint.Double_spent -> Alcotest.fail "fake bill accepted"
+
+let test_outstanding_conserved () =
+  let m = mint () in
+  let bills = List.init 10 (fun i -> Mint.issue m ~amount:((i + 1) * 10)) in
+  let before = Mint.outstanding m in
+  check Alcotest.int "sum issued" 550 before;
+  List.iter
+    (fun e ->
+      match Mint.validate_and_reissue m e with
+      | Ok _ -> ()
+      | Error _ -> Alcotest.fail "reissue failed")
+    bills;
+  check Alcotest.int "reissue conserves value" before (Mint.outstanding m)
+
+let test_split_and_merge () =
+  let m = mint () in
+  let e = Mint.issue m ~amount:100 in
+  let before = Mint.outstanding m in
+  (match Mint.split m e ~parts:[ 60; 30; 10 ] with
+  | Ok parts ->
+    check Alcotest.int "three bills" 3 (List.length parts);
+    check Alcotest.int "value conserved" before (Mint.outstanding m);
+    Alcotest.(check bool) "original retired" false (Mint.live m e);
+    (match Mint.merge m parts with
+    | Ok merged ->
+      check Alcotest.int "merged amount" 100 merged.Ecu.amount;
+      check Alcotest.int "value still conserved" before (Mint.outstanding m)
+    | Error _ -> Alcotest.fail "merge failed")
+  | Error _ -> Alcotest.fail "split failed");
+  Alcotest.check_raises "bad parts" (Invalid_argument "Mint.split: parts must sum to the bill amount")
+    (fun () -> ignore (Mint.split m (Mint.issue m ~amount:10) ~parts:[ 3; 3 ]))
+
+let test_merge_atomic_on_bad_bill () =
+  let m = mint () in
+  let good = Mint.issue m ~amount:50 in
+  let spent = Mint.issue m ~amount:50 in
+  (match Mint.validate_and_reissue m spent with Ok _ -> () | Error _ -> assert false);
+  (match Mint.merge m [ good; spent ] with
+  | Error Mint.Double_spent -> ()
+  | Ok _ | Error Mint.Forged -> Alcotest.fail "merge accepted a spent bill");
+  Alcotest.(check bool) "good bill not retired by failed merge" true (Mint.live m good)
+
+let test_merge_rejects_duplicates () =
+  let m = mint () in
+  let e = Mint.issue m ~amount:50 in
+  match Mint.merge m [ e; e ] with
+  | Error Mint.Double_spent -> ()
+  | Ok _ | Error Mint.Forged -> Alcotest.fail "duplicate bills merged"
+
+let test_two_mints_reject_each_other () =
+  let m1 = mint () in
+  let m2 = Mint.create ~secret:"another-secret" () in
+  let e = Mint.issue m1 ~amount:100 in
+  Alcotest.(check bool) "foreign bill invalid" false (Mint.signature_valid m2 e)
+
+(* --- wallet --- *)
+
+let test_wallet_exact_change =
+  qtest "take_exact returns exactly the requested amount when possible"
+    QCheck2.Gen.(
+      pair (list_size (1 -- 8) (int_range 1 20)) (int_range 1 60))
+    (fun (denoms, want) ->
+      let m = mint () in
+      let w = Wallet.create () in
+      List.iter (fun a -> Wallet.add w (Mint.issue m ~amount:a)) denoms;
+      let before = Wallet.balance w in
+      match Wallet.take_exact w ~amount:want with
+      | Some bills ->
+        Ecu.total bills = want && Wallet.balance w = before - want
+      | None ->
+        (* verify no exact subset existed *)
+        let rec subset_sums = function
+          | [] -> [ 0 ]
+          | d :: rest ->
+            let s = subset_sums rest in
+            s @ List.map (fun x -> x + d) s
+        in
+        Wallet.balance w = before && not (List.mem want (subset_sums denoms)))
+
+let test_wallet_take_at_least () =
+  let m = mint () in
+  let w = Wallet.create () in
+  List.iter (fun a -> Wallet.add w (Mint.issue m ~amount:a)) [ 7; 7; 7 ];
+  (match Wallet.take_at_least w ~amount:10 with
+  | Some bills -> Alcotest.(check bool) "covers amount" true (Ecu.total bills >= 10)
+  | None -> Alcotest.fail "should cover");
+  check Alcotest.(option (list int)) "insufficient funds" None
+    (Option.map (List.map (fun b -> b.Ecu.amount)) (Wallet.take_at_least w ~amount:1000))
+
+let test_wallet_folder_roundtrip () =
+  let m = mint () in
+  let w = Wallet.create () in
+  List.iter (fun a -> Wallet.add w (Mint.issue m ~amount:a)) [ 5; 10 ];
+  let f = Tacoma_core.Folder.create () in
+  Wallet.to_folder w f;
+  check Alcotest.int "wallet emptied" 0 (Wallet.balance w);
+  let w2 = Wallet.of_folder f in
+  check Alcotest.int "value moved" 15 (Wallet.balance w2);
+  check Alcotest.int "folder drained" 0 (Tacoma_core.Folder.length f)
+
+(* --- validator agent over the network --- *)
+
+let mk_world () =
+  let net = Net.create (Topology.line 3) in
+  let k = Kernel.create net in
+  let m = mint () in
+  Validator.install k ~site:2 m;
+  (net, k, m)
+
+let test_validator_meet_protocol () =
+  let net, k, m = mk_world () in
+  let bill = Mint.issue m ~amount:75 in
+  let bc = Briefcase.create () in
+  Briefcase.set bc "OP" "validate";
+  Folder.replace (Briefcase.folder bc "ECUS") [ Ecu.wire bill ];
+  Kernel.launch k ~site:2 ~contact:"validator" bc;
+  Net.run net;
+  check Alcotest.(option string) "ok" (Some "ok") (Briefcase.get bc "STATUS");
+  match Folder.peek (Briefcase.folder bc "ECUS") with
+  | Some w ->
+    let fresh = Ecu.of_wire_exn w in
+    Alcotest.(check bool) "reissued" true (fresh.Ecu.serial <> bill.Ecu.serial);
+    Alcotest.(check bool) "old retired" false (Mint.live m bill)
+  | None -> Alcotest.fail "no bill returned"
+
+let test_remote_validation_roundtrip () =
+  let net, k, m = mk_world () in
+  let bill = Mint.issue m ~amount:30 in
+  let result = ref None in
+  ignore
+    (Net.schedule net ~after:0.1 (fun () ->
+         Validator.remote_validate k ~src:0 ~bank:2 [ bill ] ~on_reply:(fun r ->
+             result := Some r)));
+  Net.run ~until:10.0 net;
+  match !result with
+  | Some (Ok [ fresh ]) ->
+    check Alcotest.int "amount" 30 fresh.Ecu.amount;
+    Alcotest.(check bool) "reissued" true (fresh.Ecu.serial <> bill.Ecu.serial)
+  | Some (Ok _) -> Alcotest.fail "wrong bill count"
+  | Some (Error e) -> Alcotest.failf "rejected: %s" e
+  | None -> Alcotest.fail "no reply"
+
+let test_remote_validation_rejects_double_spend () =
+  let net, k, m = mk_world () in
+  let bill = Mint.issue m ~amount:30 in
+  let r1 = ref None and r2 = ref None in
+  ignore
+    (Net.schedule net ~after:0.1 (fun () ->
+         Validator.remote_validate k ~src:0 ~bank:2 [ bill ] ~on_reply:(fun r -> r1 := Some r)));
+  ignore
+    (Net.schedule net ~after:1.0 (fun () ->
+         Validator.remote_validate k ~src:1 ~bank:2 [ bill ] ~on_reply:(fun r -> r2 := Some r)));
+  Net.run ~until:10.0 net;
+  (match !r1 with Some (Ok _) -> () | _ -> Alcotest.fail "first spend should pass");
+  match !r2 with
+  | Some (Error "double-spent") -> ()
+  | Some (Error e) -> Alcotest.failf "wrong failure %s" e
+  | Some (Ok _) -> Alcotest.fail "copy accepted"
+  | None -> Alcotest.fail "no reply"
+
+let test_validator_batch_with_duplicates_rejected () =
+  let net, k, m = mk_world () in
+  let bill = Mint.issue m ~amount:30 in
+  let result = ref None in
+  ignore
+    (Net.schedule net ~after:0.1 (fun () ->
+         Validator.remote_validate k ~src:0 ~bank:2 [ bill; bill ] ~on_reply:(fun r ->
+             result := Some r)));
+  Net.run ~until:10.0 net;
+  (match !result with
+  | Some (Error "double-spent") -> ()
+  | _ -> Alcotest.fail "duplicate batch accepted");
+  Alcotest.(check bool) "bill untouched by failed batch" true (Mint.live m bill)
+
+(* --- fuel --- *)
+
+module Fuel = Cash.Fuel
+
+let fuel_world () =
+  let net = Net.create (Topology.line 2) in
+  let k = Kernel.create net in
+  let m = mint () in
+  Fuel.install k m ~steps_per_cent:100 ~courtesy:50;
+  (net, k, m)
+
+let runaway = "while {1} {set x 1}"
+
+let test_fuel_bounds_runaway () =
+  let net, k, m = fuel_world () in
+  (* 2 cents = 50 + 200 steps; the run-away dies fast *)
+  let bc = Briefcase.create () in
+  Briefcase.set bc Briefcase.code_folder runaway;
+  Fuel.grant m bc ~cents:2;
+  Kernel.launch k ~site:0 ~contact:"ag_script" bc;
+  Net.run ~until:5.0 net;
+  check Alcotest.int "runaway killed" 1 (Kernel.deaths k)
+
+let test_fuel_buys_proportional_work () =
+  (* a loop that needs ~3 steps per iteration for 200 iterations: enough
+     fuel completes, half of it does not *)
+  let code = "for {set i 0} {$i < 200} {incr i} {set x $i}; cabinet put DONE yes" in
+  let attempt cents =
+    let net, k, m = fuel_world () in
+    let bc = Briefcase.create () in
+    Briefcase.set bc Briefcase.code_folder code;
+    Fuel.grant m bc ~cents;
+    Kernel.launch k ~site:0 ~contact:"ag_script" bc;
+    Net.run ~until:5.0 net;
+    Tacoma_core.Cabinet.elements (Kernel.cabinet k 0) "DONE" <> []
+  in
+  Alcotest.(check bool) "10 cents enough" true (attempt 10);
+  Alcotest.(check bool) "2 cents not enough" false (attempt 2)
+
+let test_fuel_counterfeit_worthless () =
+  let net, k, m = fuel_world () in
+  let bc = Briefcase.create () in
+  Briefcase.set bc Briefcase.code_folder runaway;
+  (* a copied (already-spent) bill and a home-made one *)
+  let spent = Mint.issue m ~amount:100 in
+  (match Mint.validate_and_reissue m spent with Ok _ -> () | Error _ -> assert false);
+  Tacoma_core.Folder.enqueue (Briefcase.folder bc "FUEL") (Ecu.wire spent);
+  Tacoma_core.Folder.enqueue (Briefcase.folder bc "FUEL")
+    (Ecu.wire { Ecu.amount = 1000; serial = String.make 32 'a'; signature = String.make 64 'b' });
+  Kernel.launch k ~site:0 ~contact:"ag_script" bc;
+  Net.run ~until:5.0 net;
+  check Alcotest.int "killed on courtesy budget" 1 (Kernel.deaths k)
+
+let test_fuel_burned_leaves_circulation () =
+  let net, k, m = fuel_world () in
+  let bc = Briefcase.create () in
+  Briefcase.set bc Briefcase.code_folder "set x 1";
+  Fuel.grant m bc ~cents:5;
+  let before = Mint.outstanding m in
+  Kernel.launch k ~site:0 ~contact:"ag_script" bc;
+  Net.run ~until:5.0 net;
+  check Alcotest.int "fuel destroyed" (before - 5) (Mint.outstanding m);
+  check Alcotest.int "agent completed" 1 (Kernel.completions k);
+  check Alcotest.int "fuel folder drained" 0 (Fuel.balance bc)
+
+let test_fuel_uninstall_restores_default () =
+  let net, k, m = fuel_world () in
+  Fuel.uninstall k;
+  let bc = Briefcase.create () in
+  Briefcase.set bc Briefcase.code_folder "for {set i 0} {$i < 200} {incr i} {set x $i}; cabinet put DONE yes";
+  ignore m;
+  Kernel.launch k ~site:0 ~contact:"ag_script" bc;
+  Net.run ~until:5.0 net;
+  Alcotest.(check bool) "default budget applies again" true
+    (Tacoma_core.Cabinet.elements (Kernel.cabinet k 0) "DONE" <> [])
+
+(* --- audit --- *)
+
+let test_statement_signatures () =
+  let s =
+    Audit.sign ~key:"k1" ~tx:"t1" ~action:"pay" ~actor:"alice" ~amount:10 ~at:1.5
+  in
+  Alcotest.(check bool) "valid under key" true (Audit.statement_valid ~key:"k1" s);
+  Alcotest.(check bool) "invalid under other key" false (Audit.statement_valid ~key:"k2" s);
+  match Audit.statement_of_wire (Audit.statement_wire s) with
+  | Ok s' -> Alcotest.(check bool) "wire roundtrip" true (s = s')
+  | Error e -> Alcotest.failf "roundtrip: %s" e
+
+let test_judge_verdicts () =
+  let keys = [ ("alice", "ka"); ("bob", "kb") ] in
+  let pay = Audit.sign ~key:"ka" ~tx:"t" ~action:"pay" ~actor:"alice" ~amount:5 ~at:1.0 in
+  let serve = Audit.sign ~key:"kb" ~tx:"t" ~action:"serve" ~actor:"bob" ~amount:5 ~at:2.0 in
+  let forged_serve =
+    Audit.sign ~key:"wrong" ~tx:"t" ~action:"serve" ~actor:"bob" ~amount:5 ~at:2.0
+  in
+  let v log = Audit.judge ~keys ~log ~tx:"t" in
+  check Alcotest.string "clean" "clean" (Audit.verdict_name (v [ pay; serve ]));
+  check Alcotest.string "merchant cheated" "merchant-cheated" (Audit.verdict_name (v [ pay ]));
+  check Alcotest.string "customer cheated" "customer-cheated" (Audit.verdict_name (v [ serve ]));
+  check Alcotest.string "nothing" "no-transaction" (Audit.verdict_name (v []));
+  check Alcotest.string "forged statement ignored" "merchant-cheated"
+    (Audit.verdict_name (v [ pay; forged_serve ]))
+
+let purchase_world () =
+  let net = Net.create (Topology.full_mesh 4) in
+  let k = Kernel.create net in
+  let m = mint () in
+  Validator.install k ~site:3 m;
+  Audit.install_witness k ~site:2;
+  Audit.install_court k ~site:2 ~keys:[ ("alice", "ka"); ("bob", "kb") ];
+  (net, k, m)
+
+let run_purchase ?(cust = Audit.Honest) ?(merch = Audit.Honest) ?bills () =
+  let net, k, m = purchase_world () in
+  let bills = match bills with Some b -> b m | None -> [ Mint.issue m ~amount:100 ] in
+  let p =
+    Audit.purchase k ~tx:"tx1" ~amount:100 ~bills ~customer:("alice", "ka", cust)
+      ~merchant:("bob", "kb", merch) ~customer_site:0 ~merchant_site:1 ~witness_site:2
+      ~bank_site:3
+  in
+  Net.run ~until:30.0 net;
+  let verdict =
+    Audit.judge
+      ~keys:[ ("alice", "ka"); ("bob", "kb") ]
+      ~log:(Audit.read_witness_log k ~site:2)
+      ~tx:"tx1"
+  in
+  (p, verdict)
+
+let test_purchase_honest () =
+  let p, verdict = run_purchase () in
+  Alcotest.(check bool) "merchant paid" true p.Audit.merchant_accepted;
+  Alcotest.(check bool) "customer served" true p.Audit.customer_served;
+  check Alcotest.string "clean verdict" "clean" (Audit.verdict_name verdict)
+
+let test_purchase_cheating_merchant () =
+  let p, verdict = run_purchase ~merch:Audit.Cheat () in
+  Alcotest.(check bool) "merchant banked the money" true p.Audit.merchant_accepted;
+  Alcotest.(check bool) "no service" false p.Audit.customer_served;
+  check Alcotest.string "court catches merchant" "merchant-cheated" (Audit.verdict_name verdict)
+
+let test_purchase_cheating_customer_double_spend () =
+  (* the customer bypasses the witness and pays with an already-spent bill *)
+  let p, verdict =
+    run_purchase ~cust:Audit.Cheat
+      ~bills:(fun m ->
+        let b = Mint.issue m ~amount:100 in
+        (match Mint.validate_and_reissue m b with Ok _ -> () | Error _ -> assert false);
+        [ b ])
+      ()
+  in
+  Alcotest.(check bool) "validator refused the copy" true p.Audit.merchant_rejected;
+  Alcotest.(check bool) "no service rendered" false p.Audit.customer_served;
+  check Alcotest.string "nothing provable happened" "no-transaction"
+    (Audit.verdict_name verdict)
+
+let test_court_agent_meet () =
+  let net, k, m = purchase_world () in
+  let bills = [ Mint.issue m ~amount:100 ] in
+  ignore
+    (Audit.purchase k ~tx:"tx9" ~amount:100 ~bills ~customer:("alice", "ka", Audit.Honest)
+       ~merchant:("bob", "kb", Audit.Cheat) ~customer_site:0 ~merchant_site:1
+       ~witness_site:2 ~bank_site:3);
+  Net.run ~until:30.0 net;
+  let bc = Briefcase.create () in
+  Briefcase.set bc "TX" "tx9";
+  Kernel.launch k ~site:2 ~contact:"court" bc;
+  Net.run net;
+  check Alcotest.(option string) "verdict folder" (Some "merchant-cheated")
+    (Briefcase.get bc "VERDICT")
+
+let () =
+  Alcotest.run "cash"
+    [
+      ( "ecu",
+        [
+          Alcotest.test_case "wire roundtrip" `Quick test_ecu_wire_roundtrip;
+          Alcotest.test_case "malformed" `Quick test_ecu_malformed;
+        ] );
+      ( "mint",
+        [
+          Alcotest.test_case "issue + validate" `Quick test_issue_and_validate;
+          Alcotest.test_case "double spend" `Quick test_double_spend_detected;
+          Alcotest.test_case "forgery" `Quick test_forgery_detected;
+          Alcotest.test_case "value conservation" `Quick test_outstanding_conserved;
+          Alcotest.test_case "split/merge" `Quick test_split_and_merge;
+          Alcotest.test_case "merge atomicity" `Quick test_merge_atomic_on_bad_bill;
+          Alcotest.test_case "merge duplicates" `Quick test_merge_rejects_duplicates;
+          Alcotest.test_case "foreign mint" `Quick test_two_mints_reject_each_other;
+        ] );
+      ( "wallet",
+        [
+          test_wallet_exact_change;
+          Alcotest.test_case "take at least" `Quick test_wallet_take_at_least;
+          Alcotest.test_case "folder roundtrip" `Quick test_wallet_folder_roundtrip;
+        ] );
+      ( "validator",
+        [
+          Alcotest.test_case "meet protocol" `Quick test_validator_meet_protocol;
+          Alcotest.test_case "remote roundtrip" `Quick test_remote_validation_roundtrip;
+          Alcotest.test_case "remote double spend" `Quick
+            test_remote_validation_rejects_double_spend;
+          Alcotest.test_case "duplicate batch" `Quick
+            test_validator_batch_with_duplicates_rejected;
+        ] );
+      ( "fuel",
+        [
+          Alcotest.test_case "bounds a runaway" `Quick test_fuel_bounds_runaway;
+          Alcotest.test_case "proportional work" `Quick test_fuel_buys_proportional_work;
+          Alcotest.test_case "counterfeit worthless" `Quick test_fuel_counterfeit_worthless;
+          Alcotest.test_case "burned fuel leaves circulation" `Quick
+            test_fuel_burned_leaves_circulation;
+          Alcotest.test_case "uninstall" `Quick test_fuel_uninstall_restores_default;
+        ] );
+      ( "audit",
+        [
+          Alcotest.test_case "statement signatures" `Quick test_statement_signatures;
+          Alcotest.test_case "judge verdicts" `Quick test_judge_verdicts;
+          Alcotest.test_case "honest purchase" `Quick test_purchase_honest;
+          Alcotest.test_case "cheating merchant" `Quick test_purchase_cheating_merchant;
+          Alcotest.test_case "cheating customer" `Quick
+            test_purchase_cheating_customer_double_spend;
+          Alcotest.test_case "court agent" `Quick test_court_agent_meet;
+        ] );
+    ]

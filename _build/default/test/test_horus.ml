@@ -1,0 +1,295 @@
+(* Tests for the Horus-like group communication substrate: views, FIFO and
+   total ordering, failure detection, coordinator succession, rejoin and
+   state transfer. *)
+
+module Net = Netsim.Net
+module Topology = Netsim.Topology
+module Group = Horus.Group
+module View = Horus.View
+
+let check = Alcotest.check
+
+let mk ?(n = 5) ?config () =
+  let net = Net.create (Topology.full_mesh n) in
+  let members = List.init n Fun.id in
+  let g = Group.create ?config net ~name:"g" ~members in
+  (net, g, members)
+
+let collect g members =
+  let log = Array.make (List.length members + 16) [] in
+  List.iter
+    (fun s -> Group.on_deliver g s (fun ~sender data -> log.(s) <- (sender, data) :: log.(s)))
+    members;
+  fun s -> List.rev log.(s)
+
+(* --- views --- *)
+
+let test_view_module () =
+  let v = View.make ~id:1 ~members:[ 3; 1; 2 ] in
+  check Alcotest.(list int) "sorted" [ 1; 2; 3 ] v.View.members;
+  check Alcotest.(option int) "coordinator is lowest" (Some 1) (View.coordinator v);
+  let v2 = View.without v 1 in
+  check Alcotest.int "id bumped" 2 v2.View.id;
+  check Alcotest.(option int) "new coordinator" (Some 2) (View.coordinator v2);
+  let v3 = View.with_member v2 0 in
+  Alcotest.(check bool) "member added" true (View.mem v3 0);
+  check Alcotest.int "size" 3 (View.size v3)
+
+let test_initial_view_everywhere () =
+  let _, g, members = mk () in
+  List.iter
+    (fun s ->
+      match Group.view_at g s with
+      | Some v -> check Alcotest.int "all members" 5 (View.size v)
+      | None -> Alcotest.fail "no view")
+    members
+
+(* --- multicast --- *)
+
+let test_fifo_delivery_to_all () =
+  let net, g, members = mk () in
+  let got = collect g members in
+  ignore
+    (Net.schedule net ~after:0.01 (fun () ->
+         Group.mcast g ~from:2 "m1";
+         Group.mcast g ~from:2 "m2";
+         Group.mcast g ~from:2 "m3"));
+  Net.run ~until:1.0 net;
+  List.iter
+    (fun s ->
+      check
+        Alcotest.(list (pair int string))
+        "fifo order everywhere"
+        [ (2, "m1"); (2, "m2"); (2, "m3") ]
+        (got s))
+    members
+
+let test_self_delivery () =
+  let net, g, members = mk ~n:3 () in
+  let got = collect g members in
+  ignore (Net.schedule net ~after:0.01 (fun () -> Group.mcast g ~from:0 "x"));
+  Net.run ~until:1.0 net;
+  check Alcotest.(list (pair int string)) "sender delivers to itself" [ (0, "x") ] (got 0)
+
+let test_total_order_agreement () =
+  let net, g, members = mk () in
+  let got = collect g members in
+  (* two senders race; total order must agree at every member *)
+  ignore
+    (Net.schedule net ~after:0.01 (fun () ->
+         Group.mcast g ~from:3 ~total:true "a";
+         Group.mcast g ~from:4 ~total:true "b"));
+  ignore
+    (Net.schedule net ~after:0.011 (fun () -> Group.mcast g ~from:1 ~total:true "c"));
+  Net.run ~until:2.0 net;
+  let reference = got 0 in
+  check Alcotest.int "all delivered" 3 (List.length reference);
+  List.iter
+    (fun s ->
+      check Alcotest.(list (pair int string)) "same total order" reference (got s))
+    members
+
+let test_mcast_from_non_member_ignored () =
+  let net = Net.create (Topology.full_mesh 4) in
+  let g = Group.create net ~name:"g" ~members:[ 0; 1 ] in
+  let got = ref [] in
+  Group.on_deliver g 0 (fun ~sender:_ data -> got := data :: !got);
+  Group.mcast g ~from:3 "ghost";
+  Net.run ~until:1.0 net;
+  check Alcotest.(list string) "ignored" [] !got
+
+(* --- failure handling --- *)
+
+let test_member_crash_view_change () =
+  let net, g, _ = mk () in
+  ignore (Net.schedule net ~after:1.0 (fun () -> Net.crash net 3));
+  Net.run ~until:10.0 net;
+  List.iter
+    (fun s ->
+      match Group.view_at g s with
+      | Some v ->
+        Alcotest.(check bool) "3 removed" false (View.mem v 3);
+        check Alcotest.int "others stay" 4 (View.size v)
+      | None -> Alcotest.fail "no view")
+    [ 0; 1; 2; 4 ]
+
+let test_coordinator_crash_succession () =
+  let net, g, _ = mk () in
+  ignore (Net.schedule net ~after:1.0 (fun () -> Net.crash net 0));
+  Net.run ~until:15.0 net;
+  List.iter
+    (fun s ->
+      match Group.view_at g s with
+      | Some v ->
+        check Alcotest.(option int) "site 1 takes over" (Some 1) (View.coordinator v);
+        Alcotest.(check bool) "0 removed" false (View.mem v 0)
+      | None -> Alcotest.fail "no view")
+    [ 1; 2; 3; 4 ]
+
+let test_total_order_works_after_succession () =
+  let net, g, members = mk () in
+  let got = collect g members in
+  ignore (Net.schedule net ~after:1.0 (fun () -> Net.crash net 0));
+  ignore (Net.schedule net ~after:10.0 (fun () -> Group.mcast g ~from:2 ~total:true "post"));
+  Net.run ~until:15.0 net;
+  List.iter
+    (fun s ->
+      check Alcotest.(list (pair int string)) "delivered via new sequencer" [ (2, "post") ]
+        (got s))
+    [ 1; 2; 3; 4 ]
+
+let test_mcast_excludes_departed () =
+  let net, g, members = mk () in
+  let got = collect g members in
+  ignore (Net.schedule net ~after:1.0 (fun () -> Net.crash net 3));
+  ignore (Net.schedule net ~after:9.0 (fun () -> Net.restart net 3));
+  (* after restart but without rejoin, 3 must not receive traffic *)
+  ignore (Net.schedule net ~after:10.0 (fun () -> Group.mcast g ~from:0 "late"));
+  Net.run ~until:12.0 net;
+  check Alcotest.(list (pair int string)) "restarted non-member gets nothing" [] (got 3);
+  check Alcotest.(list (pair int string)) "member gets it" [ (0, "late") ] (got 1)
+
+let test_rejoin_state_transfer () =
+  let net, g, _ = mk () in
+  Group.set_state_provider g 0 (fun () -> "snapshot-from-coordinator");
+  let state_seen = ref None in
+  ignore (Net.schedule net ~after:1.0 (fun () -> Net.crash net 3));
+  ignore
+    (Net.schedule net ~after:9.0 (fun () ->
+         Net.restart net 3;
+         Group.on_state g 3 (fun s -> state_seen := Some s);
+         Group.rejoin g 3));
+  Net.run ~until:20.0 net;
+  check Alcotest.(option string) "state transferred" (Some "snapshot-from-coordinator")
+    !state_seen;
+  List.iter
+    (fun s ->
+      match Group.view_at g s with
+      | Some v -> Alcotest.(check bool) "3 back in view" true (View.mem v 3)
+      | None -> Alcotest.fail "no view")
+    [ 0; 1; 2; 3; 4 ]
+
+let test_rejoined_member_receives () =
+  let net, g, members = mk () in
+  let got = collect g members in
+  ignore (Net.schedule net ~after:1.0 (fun () -> Net.crash net 3));
+  ignore
+    (Net.schedule net ~after:9.0 (fun () ->
+         Net.restart net 3;
+         Group.rejoin g 3));
+  ignore (Net.schedule net ~after:15.0 (fun () -> Group.mcast g ~from:0 "back"));
+  Net.run ~until:20.0 net;
+  check Alcotest.(list (pair int string)) "rejoined member receives" [ (0, "back") ] (got 3)
+
+let test_sole_survivor () =
+  let net, g, _ = mk ~n:3 () in
+  ignore (Net.schedule net ~after:1.0 (fun () -> Net.crash net 0));
+  ignore (Net.schedule net ~after:1.0 (fun () -> Net.crash net 1));
+  Net.run ~until:20.0 net;
+  match Group.view_at g 2 with
+  | Some v ->
+    check Alcotest.int "singleton view" 1 (View.size v);
+    check Alcotest.(option int) "self coordinator" (Some 2) (View.coordinator v)
+  | None -> Alcotest.fail "survivor lost its view"
+
+let test_crash_storm_convergence () =
+  (* a storm of crashes and restarts+rejoins; after it calms down, every
+     member that is up and rejoined must agree on one view containing all
+     of them, and multicast must work again *)
+  let net = Net.create (Topology.full_mesh 6) in
+  let members = [ 0; 1; 2; 3; 4; 5 ] in
+  let g = Group.create net ~name:"g" ~members in
+  let rng = Tacoma_util.Rng.create 99L in
+  (* 12 staggered crash/restart/rejoin cycles over 60 s *)
+  for _ = 1 to 12 do
+    let site = Tacoma_util.Rng.int rng 6 in
+    let at = Tacoma_util.Rng.range_float rng 1.0 60.0 in
+    let downtime = Tacoma_util.Rng.range_float rng 3.0 8.0 in
+    ignore (Net.schedule net ~after:at (fun () -> Net.crash net site));
+    ignore
+      (Net.schedule net ~after:(at +. downtime) (fun () ->
+           Net.restart net site;
+           Group.rejoin g site))
+  done;
+  Net.run ~until:120.0 net;
+  (* quiesce achieved by 120 s: compare surviving members' views *)
+  let live = List.filter (fun s -> Net.site_up net s) members in
+  Alcotest.(check bool) "some survivors" true (live <> []);
+  let views = List.filter_map (fun s -> Group.view_at g s) live in
+  (match views with
+  | [] -> Alcotest.fail "no views among survivors"
+  | v :: rest ->
+    List.iter
+      (fun v' ->
+        check Alcotest.int "same view id" v.View.id v'.View.id;
+        check Alcotest.(list int) "same membership" v.View.members v'.View.members)
+      rest;
+    List.iter
+      (fun s -> Alcotest.(check bool) "every live member in the view" true (View.mem v s))
+      live);
+  (* multicast still works for everyone *)
+  let got = Array.make 6 0 in
+  List.iter (fun s -> Group.on_deliver g s (fun ~sender:_ _ -> got.(s) <- got.(s) + 1)) live;
+  ignore (Net.schedule net ~after:1.0 (fun () -> Group.mcast g ~from:(List.hd live) "post-storm"));
+  Net.run ~until:130.0 net;
+  List.iter (fun s -> check Alcotest.int "delivered post-storm" 1 got.(s)) live
+
+let test_total_order_random_interleavings =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:25 ~name:"total order agrees under random concurrent senders"
+       QCheck2.Gen.(list_size (1 -- 12) (pair (int_range 0 4) (float_bound_inclusive 0.2)))
+       (fun sends ->
+         let net = Net.create (Topology.full_mesh 5) in
+         let members = [ 0; 1; 2; 3; 4 ] in
+         let g = Group.create net ~name:"g" ~members in
+         let logs = Array.make 5 [] in
+         List.iter
+           (fun s -> Group.on_deliver g s (fun ~sender data -> logs.(s) <- (sender, data) :: logs.(s)))
+           members;
+         List.iteri
+           (fun i (sender, delay) ->
+             ignore
+               (Net.schedule net ~after:(0.01 +. delay) (fun () ->
+                    Group.mcast g ~from:sender ~total:true (Printf.sprintf "m%d" i))))
+           sends;
+         Net.run ~until:5.0 net;
+         let reference = logs.(0) in
+         List.length reference = List.length sends
+         && List.for_all (fun s -> logs.(s) = reference) members))
+
+let test_heartbeat_traffic_accounted () =
+  let net, _, _ = mk ~n:3 () in
+  Net.run ~until:10.0 net;
+  Alcotest.(check bool) "heartbeats cost bytes" true
+    (Netsim.Netstats.bytes_sent (Net.stats net) > 0)
+
+let () =
+  Alcotest.run "horus"
+    [
+      ( "views",
+        [
+          Alcotest.test_case "view module" `Quick test_view_module;
+          Alcotest.test_case "initial views" `Quick test_initial_view_everywhere;
+        ] );
+      ( "multicast",
+        [
+          Alcotest.test_case "fifo to all" `Quick test_fifo_delivery_to_all;
+          Alcotest.test_case "self delivery" `Quick test_self_delivery;
+          Alcotest.test_case "total order agreement" `Quick test_total_order_agreement;
+          test_total_order_random_interleavings;
+          Alcotest.test_case "non-member ignored" `Quick test_mcast_from_non_member_ignored;
+        ] );
+      ( "failures",
+        [
+          Alcotest.test_case "member crash view change" `Quick test_member_crash_view_change;
+          Alcotest.test_case "coordinator succession" `Quick test_coordinator_crash_succession;
+          Alcotest.test_case "total order after succession" `Quick
+            test_total_order_works_after_succession;
+          Alcotest.test_case "departed excluded" `Quick test_mcast_excludes_departed;
+          Alcotest.test_case "rejoin + state transfer" `Quick test_rejoin_state_transfer;
+          Alcotest.test_case "rejoined member receives" `Quick test_rejoined_member_receives;
+          Alcotest.test_case "sole survivor" `Quick test_sole_survivor;
+          Alcotest.test_case "crash storm convergence" `Quick test_crash_storm_convergence;
+          Alcotest.test_case "heartbeat bytes" `Quick test_heartbeat_traffic_accounted;
+        ] );
+    ]

@@ -1,0 +1,636 @@
+(* Tests for the TScript language: values/lists, parser, expr, interpreter
+   semantics, and resource metering. *)
+
+module Interp = Tscript.Interp
+module Value = Tscript.Value
+module Parse = Tscript.Parse
+module Strutil = Tscript.Strutil
+
+let check = Alcotest.check
+
+let qtest ?(count = 300) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let eval src =
+  let it = Interp.create ~step_limit:5_000_000 () in
+  Interp.eval it src
+
+let ok src =
+  match eval src with
+  | Ok v -> v
+  | Error e -> Alcotest.failf "script %S failed: %s" src e
+
+let error src =
+  match eval src with
+  | Ok v -> Alcotest.failf "script %S unexpectedly returned %S" src v
+  | Error e -> e
+
+let expect_cases name cases =
+  List.map
+    (fun (src, want) ->
+      Alcotest.test_case (if String.length src > 40 then String.sub src 0 40 else src) `Quick
+        (fun () -> check Alcotest.string name want (ok src)))
+    cases
+
+(* --- value / list quoting --- *)
+
+let test_list_roundtrip =
+  qtest "of_list/to_list roundtrip"
+    QCheck2.Gen.(list_size (0 -- 8) (string_size ~gen:printable (0 -- 12)))
+    (fun l -> Value.to_list_exn (Value.of_list l) = l)
+
+let test_list_roundtrip_binary =
+  qtest "roundtrip with arbitrary bytes"
+    QCheck2.Gen.(list_size (0 -- 6) (string_size ~gen:(char_range '\x01' '\xff') (0 -- 10)))
+    (fun l -> Value.to_list_exn (Value.of_list l) = l)
+
+let test_list_quoting () =
+  check Alcotest.string "spaces braced" "{a b}" (Value.of_list [ "a b" ]);
+  check Alcotest.string "empty braced" "{}" (Value.of_list [ "" ]);
+  check Alcotest.(list string) "nested braces" [ "{a b}" ] (Value.to_list_exn "{{a b}}");
+  check Alcotest.(list string) "quotes" [ "a b" ] (Value.to_list_exn "\"a b\"")
+
+let test_list_malformed () =
+  Alcotest.(check bool) "unbalanced brace" true (Result.is_error (Value.to_list "{a"));
+  Alcotest.(check bool) "unbalanced quote" true (Result.is_error (Value.to_list "\"a"))
+
+let test_truthy () =
+  List.iter
+    (fun (s, want) -> Alcotest.(check bool) s want (Value.truthy s))
+    [
+      ("1", true); ("0", false); ("true", true); ("false", false); ("", false);
+      ("no", false); ("yes", true); ("0.0", false); ("2.5", true); ("banana", true);
+    ]
+
+let test_of_float () =
+  check Alcotest.string "integral float" "2.0" (Value.of_float 2.0);
+  check Alcotest.string "fraction" "2.5" (Value.of_float 2.5)
+
+(* --- parser --- *)
+
+let test_parse_comments () =
+  check Alcotest.string "comment skipped" "2" (ok "# a comment\nset x 2");
+  check Alcotest.string "hash mid-word not comment" "a#b" (ok "set x a#b")
+
+let test_parse_continuation () =
+  check Alcotest.string "backslash newline joins" "6" (ok "expr {1 + \\\n 2 + 3}")
+
+let test_parse_nested_brackets () =
+  check Alcotest.string "nested cmd subst" "9" (ok "expr {[expr {[expr {1+2}] * 3}]}")
+
+let test_parse_escapes () =
+  check Alcotest.string "newline escape" "a\nb" (ok {|set x "a\nb"|});
+  check Alcotest.string "dollar escape" "$x" (ok {|set y 1; set z "\$x"|})
+
+let test_parse_errors () =
+  Alcotest.(check bool) "unterminated brace" true
+    (Result.is_error (Parse.script_result "set x {a"));
+  Alcotest.(check bool) "unterminated bracket" true
+    (Result.is_error (Parse.script_result "set x [foo"));
+  Alcotest.(check bool) "unterminated quote" true
+    (Result.is_error (Parse.script_result "set x \"abc"))
+
+let test_parse_empty () =
+  check Alcotest.string "empty script" "" (ok "");
+  check Alcotest.string "only separators" "" (ok " ;; \n\n ; ")
+
+(* --- expr --- *)
+
+let expr_cases =
+  [
+    ("expr {1 + 2 * 3}", "7");
+    ("expr {(1 + 2) * 3}", "9");
+    ("expr {2 ** 10}", "1024.0");
+    ("expr {10 % 3}", "1");
+    ("expr {1.5 + 1}", "2.5");
+    ("expr {4 / 2}", "2");
+    ("expr {5 > 3}", "1");
+    ("expr {5 <= 3}", "0");
+    ("expr {\"a\" < \"b\"}", "1");
+    ("expr {1 == 1.0}", "1");
+    ("expr {\"1\" eq \"1.0\"}", "0");
+    ("expr {!0}", "1");
+    ("expr {~0}", "-1");
+    ("expr {1 && 0 || 1}", "1");
+    ("expr {abs(-4)}", "4");
+    ("expr {int(3.9)}", "3");
+    ("expr {round(3.5)}", "4");
+    ("expr {sqrt(16)}", "4.0");
+    ("expr {max(1, 9, 4)}", "9");
+    ("expr {min(2.5, 2)}", "2");
+    ("expr {\"b\" in {a b c}}", "1");
+    ("expr {\"z\" ni {a b c}}", "1");
+    ("set x 4; expr {$x * $x}", "16");
+    ("expr {[expr {2+2}] + 1}", "5");
+    ("expr {1e3 + 1}", "1001.0");
+  ]
+
+(* fuzz: random integer expression trees, rendered to expr syntax and
+   evaluated against an OCaml reference with Tcl division semantics *)
+type iexpr =
+  | Lit of int
+  | Add of iexpr * iexpr
+  | Sub of iexpr * iexpr
+  | Mul of iexpr * iexpr
+  | Div of iexpr * iexpr
+  | Mod of iexpr * iexpr
+  | Neg of iexpr
+  | Cmp of iexpr * iexpr (* < as 0/1 *)
+
+let rec render = function
+  | Lit n -> if n < 0 then Printf.sprintf "(0 - %d)" (-n) else string_of_int n
+  | Add (a, b) -> Printf.sprintf "(%s + %s)" (render a) (render b)
+  | Sub (a, b) -> Printf.sprintf "(%s - %s)" (render a) (render b)
+  | Mul (a, b) -> Printf.sprintf "(%s * %s)" (render a) (render b)
+  | Div (a, b) -> Printf.sprintf "(%s / %s)" (render a) (render b)
+  | Mod (a, b) -> Printf.sprintf "(%s %% %s)" (render a) (render b)
+  | Neg a -> Printf.sprintf "(- %s)" (render a)
+  | Cmp (a, b) -> Printf.sprintf "(%s < %s)" (render a) (render b)
+
+exception Ref_div_zero
+
+let rec reference = function
+  | Lit n -> n
+  | Add (a, b) -> reference a + reference b
+  | Sub (a, b) -> reference a - reference b
+  | Mul (a, b) -> reference a * reference b
+  | Div (a, b) ->
+    let x = reference a and y = reference b in
+    if y = 0 then raise Ref_div_zero
+    else if (x < 0) <> (y < 0) && x mod y <> 0 then (x / y) - 1
+    else x / y
+  | Mod (a, b) ->
+    let x = reference a and y = reference b in
+    if y = 0 then raise Ref_div_zero
+    else
+      let m = x mod y in
+      if m <> 0 && (m < 0) <> (y < 0) then m + y else m
+  | Neg a -> -reference a
+  | Cmp (a, b) -> if reference a < reference b then 1 else 0
+
+let iexpr_gen =
+  let open QCheck2.Gen in
+  sized
+  @@ fix (fun self n ->
+         if n <= 0 then map (fun i -> Lit i) (int_range (-50) 50)
+         else
+           let sub = self (n / 2) in
+           oneof
+             [
+               map (fun i -> Lit i) (int_range (-50) 50);
+               map2 (fun a b -> Add (a, b)) sub sub;
+               map2 (fun a b -> Sub (a, b)) sub sub;
+               map2 (fun a b -> Mul (a, b)) sub sub;
+               map2 (fun a b -> Div (a, b)) sub sub;
+               map2 (fun a b -> Mod (a, b)) sub sub;
+               map (fun a -> Neg a) sub;
+               map2 (fun a b -> Cmp (a, b)) sub sub;
+             ])
+
+let test_expr_fuzz_vs_reference =
+  qtest ~count:500 "random integer expressions match the reference evaluator" iexpr_gen
+    (fun e ->
+      let src = "expr {" ^ render e ^ "}" in
+      match (reference e, eval src) with
+      | expected, Ok got -> got = string_of_int expected
+      | exception Ref_div_zero -> (
+        match eval src with Error _ -> true | Ok _ -> false)
+      | _, Error _ -> false)
+
+let test_expr_division_by_zero () =
+  let e = error "expr {1 / 0}" in
+  Alcotest.(check bool) "error reported" true (String.length e > 0)
+
+let test_expr_malformed () =
+  List.iter
+    (fun src -> ignore (error src))
+    [ "expr {1 +}"; "expr {(1}"; "expr {foo(1)}"; "expr {$nope + 1}" ]
+
+(* --- interpreter semantics --- *)
+
+let semantics_cases =
+  [
+    ("set x 5", "5");
+    ("set x 5; set x", "5");
+    ("set x a; set y b; set z $x$y", "ab");
+    ("set x 1; incr x", "2");
+    ("set x 1; incr x 10", "11");
+    ("incr fresh", "1");
+    ("proc two {} {return 2}; two", "2");
+    ("proc id {v} {return $v}; id hello", "hello");
+    ("proc d {a {b def}} {return $a-$b}; d 1", "1-def");
+    ("proc d {a {b def}} {return $a-$b}; d 1 2", "1-2");
+    ("proc v {args} {llength $args}; v a b c", "3");
+    ("proc f {} {global g; set g 10}; set g 1; f; set g", "10");
+    ("proc f {} {set g 10}; set g 1; f; set g", "1");
+    ("set r {}; foreach {a b} {1 2 3 4} {lappend r $b$a}; set r", "21 43");
+    ("set i 0; while {$i < 3} {incr i}; set i", "3");
+    ("set r {}; for {set i 0} {$i<5} {incr i} {if {$i==2} continue; if {$i==4} break; lappend r $i}; set r",
+      "0 1 3");
+    ("catch {set novar}", "1");
+    ("catch {expr {1+1}} out; set out", "2");
+    ("proc f {} {error inner}; catch {f} m; set m", "inner");
+    ("eval set x 7; set x", "7");
+    ("string length hello", "5");
+    ("string index hello end", "o");
+    ("string range hello 1 3", "ell");
+    ("string first ll hello", "2");
+    ("string first zz hello", "-1");
+    ("string repeat ab 3", "ababab");
+    ("string reverse abc", "cba");
+    ("string trimleft {  ab  }", "ab  ");
+    ("string trimright {  ab  }", "  ab");
+    ("string last l hello", "3");
+    ("string last zz hello", "-1");
+    ("append x a b c", "abc");
+    ("set l {3 1 2}; lsort $l", "1 2 3");
+    ("lsort -integer {10 9 2}", "2 9 10");
+    ("lsort -unique {b a b a}", "a b");
+    ("lsearch {a b c} b", "1");
+    ("lsearch -exact {a* x} x", "1");
+    ("lsearch {apple banana} b*", "1");
+    ("linsert {a c} 1 b", "a b c");
+    ("lreverse {1 2 3}", "3 2 1");
+    ("lassign {1 2 3} a b; expr {$a + $b}", "3");
+    ("lassign {1 2 3} a b", "3");
+    ("concat {a b} {c} {} {d}", "a b c d");
+    ("lrange {a b c d e} 1 3", "b c d");
+    ("lrange {a b c d e} 2 end", "c d e");
+    ("info exists nope", "0");
+    ("set v 1; info exists v", "1");
+    ("proc p {x} {return $x}; info args p", "x");
+    ("if {0} {set a 1} elseif {0} {set a 2} else {set a 3}", "3");
+    ("if {0} then {set a 1} else {set a 2}", "2");
+    ("join [split 1:2:3 :] -", "1-2-3");
+    ("llength [split {} :]", "1");
+    ("switch b {a {set r 1} b {set r 2} default {set r 3}}", "2");
+    ("switch z {a {set r 1} default {set r 3}}", "3");
+    ("switch z {a {set r 1} b {set r 2}}", "");
+    ("switch -glob ab7 {a*[0-9] {set r glob} default {set r no}}", "glob");
+    ("switch b {a - b {set r fell} c {set r no}}", "fell");
+    ("switch b a {set r 1} b {set r 2}", "2");
+    ("string map {ab X c Y} abcab", "XYX");
+    ("string map {a aa} aaa", "aaaaaa");
+    ("lrepeat 3 a b", "a b a b a b");
+    ("lrepeat 0 x", "");
+    ("lmap x {1 2 3} {expr {$x * 2}}", "2 4 6");
+    ("lmap {a b} {1 2 3 4} {expr {$a + $b}}", "3 7");
+    ("lmap x {1 2 3 4} {if {$x == 2} continue; expr {$x}}", "1 3 4");
+    ("set v 9; subst {v is $v and [expr {1+1}]}", "v is 9 and 2");
+    (* arrays *)
+    ("set a(x) 1; set a(y) 2; expr {$a(x) + $a(y)}", "3");
+    ("set a(x) hello; set a(x)", "hello");
+    ("set i 2; set a(2) yes; set a($i)", "yes");
+    ("set i 2; set a(2) 10; expr {$a($i) * 2}", "20");
+    ("set a(k1) 1; set a(k2) 2; array size a", "2");
+    ("set a(k1) 1; set a(k2) 2; array names a", "k1 k2");
+    ("set a(k1) 1; set a(zz) 2; array names a k*", "k1");
+    ("array set a {x 1 y 2}; set a(y)", "2");
+    ("set a(x) 1; array get a", "x 1");
+    ("array exists a", "0");
+    ("set a(x) 1; array exists a", "1");
+    ("set s 5; array exists s", "0");
+    ("set a(x) 1; info exists a(x)", "1");
+    ("set a(x) 1; info exists a(y)", "0");
+    ("set a(x) 1; info exists a", "1");
+    ("set a(x) 1; unset a(x); array size a", "0");
+    ("set a(x) 1; array unset a; array exists a", "0");
+    ("set a(x) 1; incr a(x) 4", "5");
+    ("lappend a(l) p q; set a(l)", "p q");
+    ("append a(s) foo bar", "foobar");
+    ("set a() empty-index; set a()", "empty-index");
+    ("proc f {} {set a(x) local; array size a}; set a(x) 1; set a(y) 2; concat [f] [array size a]",
+      "1 2");
+    ("proc f {} {global a; set a(x)}; set a(x) fromglobal; f", "fromglobal");
+  ]
+
+let upvar_cases =
+  [
+    (* pass-by-name procs *)
+    ("proc bump {vname} {upvar 1 $vname v; incr v}; set x 5; bump x; set x", "6");
+    ("proc put2 {vname} {upvar $vname v; set v 2}; set y 0; put2 y; set y", "2");
+    ("proc swap {an bn} {upvar 1 $an a $bn b; set tmp $a; set a $b; set b $tmp};\n\
+      set p 1; set q 2; swap p q; list $p $q", "2 1");
+    (* two levels up *)
+    ("proc inner {} {upvar 2 top v; set v deep}; proc outer {} {inner};\n\
+      set top shallow; outer; set top", "deep");
+    (* #0 targets the globals from any depth *)
+    ("proc f {} {upvar #0 g v; set v global-hit}; proc wrap {} {f}; set g x; wrap; set g",
+      "global-hit");
+    (* upvar'd arrays *)
+    ("proc fill {aname} {upvar 1 $aname a; set a(k) filled}; fill arr; set arr(k)", "filled");
+    (* uplevel evaluates in the caller's scope *)
+    ("proc setter {} {uplevel 1 {set local 42}}; proc caller {} {setter; set local}; caller",
+      "42");
+    ("proc g {} {uplevel #0 {set gv 7}}; g; set gv", "7");
+    ("set r [uplevel 1 expr 1 + 1]; set r", "2");
+  ]
+
+let regexp_cases =
+  [
+    ("regexp {ab+c} xabbbcy", "1");
+    ("regexp {ab+c} xaby", "0");
+    ("regexp {^ab} abc", "1");
+    ("regexp {^bc} abc", "0");
+    ("regexp {bc$} abc", "1");
+    ("regexp {a.c} axc", "1");
+    ("regexp {[0-9]+} {order 123 now} m; set m", "123");
+    ("regexp {(\\w+)@(\\w+)} {mail dag@cornell today} all user dom; list $all $user $dom",
+      "dag@cornell dag cornell");
+    ("regexp {a|b} czb", "1");
+    ("regexp {^(a|bc)+$} abcbca", "1");
+    ("regexp {colou?r} color", "1");
+    ("regexp {colou?r} colour", "1");
+    ("regexp {^a{2,3}$} aa", "1");
+    ("regexp {^a{2,3}$} aaaa", "0");
+    ("regexp {^a{2}$} aa", "1");
+    ("regexp {^\\d{3}-\\d{4}$} 555-1234", "1");
+    ("regexp -nocase {hello} HeLLo", "1");
+    ("regexp {[^xyz]} xxaz", "1");
+    ("regexp {\\.} a.b", "1");
+    ("regexp {\\.} ab", "0");
+    ("regexp {(a)(b)?(c)} ac all g1 g2 g3; list $all $g1 $g2 $g3", "ac a {} c");
+    ("regsub {o} foo 0", "f0o");
+    ("regsub -all {o} foo 0", "f00");
+    ("regsub -all {(\\w+)=(\\w+)} {a=1 b=2} {\\2:\\1}", "1:a 2:b");
+    ("regsub -all {l+} {hello boll} L out; set out", "heLo boL");
+    ("regsub -all {x*} abc -", "-a-b-c-");
+    ("regsub {nope} abc X", "abc");
+    ("set n [regsub -all {a} banana _ res]; list $n $res", "3 b_n_n_");
+  ]
+
+(* regex properties over the engine directly *)
+module Regex = Tscript.Regex
+
+let escape_for_regex s =
+  String.concat ""
+    (List.map
+       (fun c ->
+         match c with
+         | '\\' | '.' | '*' | '+' | '?' | '[' | ']' | '(' | ')' | '{' | '}' | '^' | '$' | '|' ->
+           Printf.sprintf "\\%c" c
+         | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let test_regex_escaped_literal_matches_self =
+  qtest ~count:300 "escaped literals match themselves"
+    QCheck2.Gen.(string_size ~gen:printable (1 -- 12))
+    (fun s ->
+      match Regex.compile (escape_for_regex s) with
+      | Ok re -> Regex.matches re s
+      | Error _ -> false)
+
+let test_regex_identity_replace =
+  qtest ~count:300 "replacing every match with & is the identity"
+    QCheck2.Gen.(string_size ~gen:(char_range 'a' 'e') (0 -- 20))
+    (fun s ->
+      match Regex.compile "[a-c]+" with
+      | Error _ -> false
+      | Ok re ->
+        let out, _ = Regex.replace re ~all:true ~template:"&" s in
+        out = s)
+
+let test_regex_match_bounds =
+  qtest ~count:300 "match bounds index the subject correctly"
+    QCheck2.Gen.(string_size ~gen:(char_range 'a' 'f') (0 -- 24))
+    (fun s ->
+      match Regex.compile "b(c+)d" with
+      | Error _ -> false
+      | Ok re -> (
+        match Regex.search re s with
+        | None -> true
+        | Some r ->
+          let text, a, b = r.Regex.whole in
+          a >= 0 && b <= String.length s && String.sub s a (b - a) = text
+          && (match r.Regex.groups.(0) with
+             | Some (g, ga, gb) -> String.sub s ga (gb - ga) = g && g <> "" && String.for_all (fun c -> c = 'c') g
+             | None -> false)))
+
+let test_regexp_malformed () =
+  List.iter
+    (fun src -> ignore (error src))
+    [
+      "regexp {(} x"; "regexp {[a-} x"; "regexp {a{3,1}} x"; "regexp {*} x";
+      "regsub {(} x y";
+    ]
+
+let test_array_scalar_collision () =
+  ignore (error "set s 5; set s(x) 1");
+  ignore (error "set a(x) 1; set a 5");
+  ignore (error "set a(x) 1; puts $a")
+
+let scoping_cases =
+  [
+    (* locals do not leak out of procs *)
+    ("proc f {} {set hidden 1}; f; info exists hidden", "0");
+    (* arguments shadow globals *)
+    ("set x global; proc f {x} {set x}; f arg", "arg");
+    (* recursion keeps frames separate *)
+    ("proc down {n} {if {$n == 0} {return 0}; set mine $n; down [expr {$n - 1}]; set mine};\n\
+      down 3", "3");
+    (* catch inside a proc traps errors from deeper procs *)
+    ("proc deep {} {error bottom}; proc mid {} {deep}; proc top {} {catch {mid} e; set e}; top",
+      "bottom");
+    (* return propagates only one level *)
+    ("proc inner {} {return early; set never 1}; proc outer {} {inner; return late}; outer",
+      "late");
+    (* break crosses eval but is caught by the loop *)
+    ("set n 0; foreach x {1 2 3} {incr n; if {$x == 2} {eval break}}; set n", "2");
+    (* proc redefinition replaces *)
+    ("proc f {} {return a}; proc f {} {return b}; f", "b");
+    (* variable traces of loops: foreach leaves the variable set *)
+    ("foreach v {1 2 3} {}; set v", "3");
+    (* nested command substitution inside braces is deferred *)
+    ("proc f {} {return {[not evaluated]}}; f", "[not evaluated]");
+    (* expr on proc results *)
+    ("proc two {} {return 2}; expr {[two] ** [two]}", "4.0");
+  ]
+
+let test_unknown_command () =
+  let e = error "definitely_not_a_command 1 2" in
+  Alcotest.(check bool) "mentions name" true
+    (Option.is_some
+       (String.index_opt e 'd')
+    && String.length e > 0)
+
+let test_wrong_arity_message () =
+  let e = error "proc f {a b} {}; f 1" in
+  Alcotest.(check bool) "usage message" true
+    (String.length e > 0
+    && Option.is_some (String.index_opt e '#'))
+
+let test_recursion_depth_limited () =
+  let e = error "proc loop {} {loop}; loop" in
+  Alcotest.(check bool) "depth error" true (String.length e > 0)
+
+let test_break_outside_loop () = ignore (error "break")
+let test_continue_outside_loop () = ignore (error "continue")
+
+let test_return_at_toplevel () = check Alcotest.string "return value" "42" (ok "return 42")
+
+let test_host_command () =
+  let it = Interp.create () in
+  Interp.register it "double" (fun _ args ->
+      match args with
+      | [ v ] -> (
+        match Value.int_of v with
+        | Some i -> Value.of_int (2 * i)
+        | None -> raise (Interp.Error_exc "not a number"))
+      | _ -> raise (Interp.Error_exc "wrong # args"));
+  (match Interp.eval it "double 21" with
+  | Ok v -> check Alcotest.string "host result" "42" v
+  | Error e -> Alcotest.failf "host command failed: %s" e);
+  (match Interp.eval it "catch {double x} m; set m" with
+  | Ok v -> check Alcotest.string "host error catchable" "not a number" v
+  | Error e -> Alcotest.failf "catch failed: %s" e);
+  Interp.unregister it "double";
+  match Interp.eval it "double 2" with
+  | Ok _ -> Alcotest.fail "unregistered command still callable"
+  | Error _ -> ()
+
+let test_global_vars_api () =
+  let it = Interp.create () in
+  Interp.set_var it "x" "10";
+  (match Interp.eval it "expr {$x + 1}" with
+  | Ok v -> check Alcotest.string "var visible" "11" v
+  | Error e -> Alcotest.failf "%s" e);
+  check Alcotest.(option string) "get_var" (Some "10") (Interp.get_var_opt it "x");
+  Interp.unset_var it "x";
+  check Alcotest.(option string) "unset" None (Interp.get_var_opt it "x")
+
+let test_output_capture () =
+  let it = Interp.create () in
+  ignore (Interp.eval it "puts one; puts -nonewline two");
+  check Alcotest.string "output" "one\ntwo" (Interp.take_output it);
+  check Alcotest.string "cleared" "" (Interp.take_output it)
+
+let test_output_redirect () =
+  let it = Interp.create () in
+  let sink = Buffer.create 16 in
+  Interp.set_output it (Buffer.add_string sink);
+  ignore (Interp.eval it "puts routed");
+  check Alcotest.string "redirected" "routed\n" (Buffer.contents sink);
+  check Alcotest.string "internal buffer untouched" "" (Interp.take_output it)
+
+let test_steps_counted () =
+  let it = Interp.create () in
+  ignore (Interp.eval it "set a 1; set b 2; set c 3");
+  Alcotest.(check bool) "steps > 0" true (Interp.steps_used it >= 3)
+
+let test_step_limit_aborts () =
+  let it = Interp.create ~step_limit:50 () in
+  match Interp.eval it "while {1} {set x 1}" with
+  | exception Interp.Resource_exhausted -> ()
+  | Ok _ | Error _ -> Alcotest.fail "expected Resource_exhausted"
+
+let test_step_limit_not_catchable () =
+  let it = Interp.create ~step_limit:50 () in
+  match Interp.eval it "catch {while {1} {set x 1}}; set done 1" with
+  | exception Interp.Resource_exhausted -> ()
+  | Ok _ | Error _ -> Alcotest.fail "catch must not trap exhaustion"
+
+let test_empty_loop_metered () =
+  let it = Interp.create ~step_limit:200 () in
+  match Interp.eval it "while {1} {}" with
+  | exception Interp.Resource_exhausted -> ()
+  | Ok _ | Error _ -> Alcotest.fail "empty loop must still consume budget"
+
+let test_call_api () =
+  let it = Interp.create () in
+  ignore (Interp.eval it "proc add {a b} {expr {$a + $b}}");
+  check Alcotest.string "call proc" "7" (Interp.call it "add" [ "3"; "4" ])
+
+(* --- strutil --- *)
+
+let test_glob () =
+  List.iter
+    (fun (p, s, want) ->
+      Alcotest.(check bool) (p ^ " ~ " ^ s) want (Strutil.glob_match ~pattern:p s))
+    [
+      ("*", "", true); ("*", "abc", true); ("a*c", "abc", true); ("a*c", "ac", true);
+      ("a*c", "abd", false); ("?", "a", true); ("?", "", false); ("a?c", "abc", true);
+      ("[a-c]x", "bx", true); ("[a-c]x", "dx", false); ("\\*", "*", true); ("\\*", "a", false);
+      ("a[bc]d", "acd", true); ("**a", "xxa", true);
+    ]
+
+let test_format_subset () =
+  let fmt f args =
+    match Strutil.format f args with Ok s -> s | Error e -> Alcotest.failf "format: %s" e
+  in
+  check Alcotest.string "width" "  7" (fmt "%3d" [ "7" ]);
+  check Alcotest.string "zero pad" "007" (fmt "%03d" [ "7" ]);
+  check Alcotest.string "neg zero pad" "-07" (fmt "%03d" [ "-7" ]);
+  check Alcotest.string "left" "7  |" (fmt "%-3d|" [ "7" ]);
+  check Alcotest.string "hex" "ff" (fmt "%x" [ "255" ]);
+  check Alcotest.string "precision" "3.14" (fmt "%.2f" [ "3.14159" ]);
+  check Alcotest.string "string prec" "ab" (fmt "%.2s" [ "abcd" ]);
+  check Alcotest.string "percent" "100%" (fmt "100%%" []);
+  Alcotest.(check bool) "missing arg is error" true (Result.is_error (Strutil.format "%d" []))
+
+let () =
+  Alcotest.run "tscript"
+    [
+      ( "values",
+        [
+          test_list_roundtrip;
+          test_list_roundtrip_binary;
+          Alcotest.test_case "quoting" `Quick test_list_quoting;
+          Alcotest.test_case "malformed lists" `Quick test_list_malformed;
+          Alcotest.test_case "truthiness" `Quick test_truthy;
+          Alcotest.test_case "float rendering" `Quick test_of_float;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "comments" `Quick test_parse_comments;
+          Alcotest.test_case "line continuation" `Quick test_parse_continuation;
+          Alcotest.test_case "nested brackets" `Quick test_parse_nested_brackets;
+          Alcotest.test_case "escapes" `Quick test_parse_escapes;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "empty" `Quick test_parse_empty;
+        ] );
+      ("expr", expect_cases "expr" expr_cases
+        @ [
+            Alcotest.test_case "division by zero" `Quick test_expr_division_by_zero;
+            Alcotest.test_case "malformed" `Quick test_expr_malformed;
+            test_expr_fuzz_vs_reference;
+          ]);
+      ("semantics", expect_cases "semantics" semantics_cases
+        @ [
+            Alcotest.test_case "unknown command" `Quick test_unknown_command;
+            Alcotest.test_case "arity message" `Quick test_wrong_arity_message;
+            Alcotest.test_case "recursion depth" `Quick test_recursion_depth_limited;
+            Alcotest.test_case "break outside loop" `Quick test_break_outside_loop;
+            Alcotest.test_case "continue outside loop" `Quick test_continue_outside_loop;
+            Alcotest.test_case "toplevel return" `Quick test_return_at_toplevel;
+            Alcotest.test_case "array/scalar collision" `Quick test_array_scalar_collision;
+          ]);
+      ("scoping", expect_cases "scoping" scoping_cases);
+      ("upvar", expect_cases "upvar" upvar_cases);
+      ("regexp", expect_cases "regexp" regexp_cases
+        @ [
+            Alcotest.test_case "malformed patterns" `Quick test_regexp_malformed;
+            test_regex_escaped_literal_matches_self;
+            test_regex_identity_replace;
+            test_regex_match_bounds;
+          ]);
+      ( "host-api",
+        [
+          Alcotest.test_case "host command" `Quick test_host_command;
+          Alcotest.test_case "global vars" `Quick test_global_vars_api;
+          Alcotest.test_case "output capture" `Quick test_output_capture;
+          Alcotest.test_case "output redirect" `Quick test_output_redirect;
+          Alcotest.test_case "call" `Quick test_call_api;
+        ] );
+      ( "metering",
+        [
+          Alcotest.test_case "steps counted" `Quick test_steps_counted;
+          Alcotest.test_case "limit aborts" `Quick test_step_limit_aborts;
+          Alcotest.test_case "limit uncatchable" `Quick test_step_limit_not_catchable;
+          Alcotest.test_case "empty loop metered" `Quick test_empty_loop_metered;
+        ] );
+      ( "strutil",
+        [
+          Alcotest.test_case "glob match" `Quick test_glob;
+          Alcotest.test_case "format subset" `Quick test_format_subset;
+        ] );
+    ]

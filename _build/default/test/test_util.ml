@@ -1,0 +1,248 @@
+(* Tests for the shared substrate: PRNG, heap, SHA-256/HMAC, hex, stats. *)
+
+module Rng = Tacoma_util.Rng
+module Heap = Tacoma_util.Heap
+module Sha256 = Tacoma_util.Sha256
+module Hexutil = Tacoma_util.Hexutil
+module Stats = Tacoma_util.Stats
+
+let check = Alcotest.check
+let qtest ?(count = 300) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* --- rng --- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 7L and b = Rng.create 7L in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same seed, same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 7L in
+  let child = Rng.split a in
+  let next_parent = Rng.int64 a in
+  let next_child = Rng.int64 child in
+  Alcotest.(check bool) "split stream differs" true (next_parent <> next_child)
+
+let test_rng_int_bounds () =
+  let r = Rng.create 3L in
+  for _ = 1 to 10_000 do
+    let v = Rng.int r 17 in
+    Alcotest.(check bool) "in [0,17)" true (v >= 0 && v < 17)
+  done
+
+let test_rng_float_bounds () =
+  let r = Rng.create 4L in
+  for _ = 1 to 10_000 do
+    let v = Rng.float r in
+    Alcotest.(check bool) "in [0,1)" true (v >= 0.0 && v < 1.0)
+  done
+
+let test_rng_uniformity () =
+  (* coarse chi-square-ish check: each of 10 buckets within 30% of mean *)
+  let r = Rng.create 99L in
+  let buckets = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let b = Rng.int r 10 in
+    buckets.(b) <- buckets.(b) + 1
+  done;
+  Array.iter
+    (fun c ->
+      Alcotest.(check bool) "bucket near uniform" true
+        (float_of_int c > 0.7 *. float_of_int (n / 10)
+        && float_of_int c < 1.3 *. float_of_int (n / 10)))
+    buckets
+
+let test_rng_exponential_mean () =
+  let r = Rng.create 11L in
+  let n = 50_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential r ~mean:2.0
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "mean near 2.0" true (mean > 1.9 && mean < 2.1)
+
+let test_rng_gaussian_moments () =
+  let r = Rng.create 12L in
+  let n = 50_000 in
+  let xs = List.init n (fun _ -> Rng.gaussian r ~mu:5.0 ~sigma:3.0) in
+  let mean = Stats.mean xs in
+  let sd = Stats.stddev xs in
+  Alcotest.(check bool) "mean near 5" true (Float.abs (mean -. 5.0) < 0.1);
+  Alcotest.(check bool) "sd near 3" true (Float.abs (sd -. 3.0) < 0.1)
+
+let test_rng_shuffle_permutes () =
+  let r = Rng.create 5L in
+  let arr = Array.init 50 Fun.id in
+  Rng.shuffle r arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  check Alcotest.(array int) "same multiset" (Array.init 50 Fun.id) sorted
+
+let test_rng_bytes_len () =
+  let r = Rng.create 6L in
+  check Alcotest.int "length" 33 (String.length (Rng.bytes r 33))
+
+(* --- heap --- *)
+
+let test_heap_sorts =
+  qtest "heap pops in sorted order"
+    QCheck2.Gen.(list int)
+    (fun l ->
+      let h = Heap.create ~cmp:compare in
+      List.iter (Heap.push h) l;
+      let rec drain acc =
+        match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+      in
+      drain [] = List.sort compare l)
+
+let test_heap_peek () =
+  let h = Heap.create ~cmp:compare in
+  Alcotest.(check (option int)) "empty peek" None (Heap.peek h);
+  Heap.push h 5;
+  Heap.push h 2;
+  Heap.push h 9;
+  Alcotest.(check (option int)) "peek min" (Some 2) (Heap.peek h);
+  Alcotest.(check int) "length unchanged by peek" 3 (Heap.length h)
+
+let test_heap_interleaved () =
+  let h = Heap.create ~cmp:compare in
+  Heap.push h 3;
+  Heap.push h 1;
+  Alcotest.(check (option int)) "pop 1" (Some 1) (Heap.pop h);
+  Heap.push h 0;
+  Heap.push h 2;
+  Alcotest.(check (option int)) "pop 0" (Some 0) (Heap.pop h);
+  Alcotest.(check (option int)) "pop 2" (Some 2) (Heap.pop h);
+  Alcotest.(check (option int)) "pop 3" (Some 3) (Heap.pop h);
+  Alcotest.(check (option int)) "empty" None (Heap.pop h)
+
+let test_heap_clear () =
+  let h = Heap.create ~cmp:compare in
+  List.iter (Heap.push h) [ 4; 2; 7 ];
+  Heap.clear h;
+  Alcotest.(check bool) "empty after clear" true (Heap.is_empty h)
+
+(* --- sha256 (FIPS 180-4 / RFC 4231 vectors) --- *)
+
+let test_sha256_vectors () =
+  let cases =
+    [
+      ("", "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+      ("abc", "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+      ( "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+        "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1" );
+      ( String.make 1_000_000 'a',
+        "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0" );
+    ]
+  in
+  List.iter
+    (fun (msg, want) -> check Alcotest.string "digest" want (Sha256.hex_digest msg))
+    cases
+
+let test_sha256_block_boundaries () =
+  (* lengths around the 55/56/64-byte padding boundaries must not crash and
+     must stay distinct *)
+  let digests =
+    List.map (fun n -> Sha256.hex_digest (String.make n 'x')) [ 54; 55; 56; 57; 63; 64; 65; 127; 128 ]
+  in
+  let uniq = List.sort_uniq compare digests in
+  check Alcotest.int "all distinct" (List.length digests) (List.length uniq)
+
+let test_hmac_vectors () =
+  (* RFC 4231 test case 1 and 2 *)
+  let key1 = String.make 20 '\x0b' in
+  check Alcotest.string "rfc4231 tc1"
+    "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+    (Sha256.hmac_hex ~key:key1 "Hi There");
+  check Alcotest.string "rfc4231 tc2"
+    "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+    (Sha256.hmac_hex ~key:"Jefe" "what do ya want for nothing?")
+
+let test_hmac_long_key () =
+  (* keys longer than the block size are hashed first; just check stability
+     and key sensitivity *)
+  let long_key = String.make 100 'k' in
+  let a = Sha256.hmac_hex ~key:long_key "msg" in
+  let b = Sha256.hmac_hex ~key:(long_key ^ "x") "msg" in
+  Alcotest.(check bool) "key sensitive" true (a <> b)
+
+(* --- hex --- *)
+
+let test_hex_roundtrip =
+  qtest "hex roundtrips all bytes"
+    QCheck2.Gen.(string_size ~gen:(char_range '\x00' '\xff') (0 -- 64))
+    (fun s -> Hexutil.decode (Hexutil.encode s) = s)
+
+let test_hex_known () =
+  check Alcotest.string "encode" "00ff10" (Hexutil.encode "\x00\xff\x10");
+  check Alcotest.string "decode upper" "\xab" (Hexutil.decode "AB")
+
+let test_hex_invalid () =
+  Alcotest.check_raises "odd length" (Invalid_argument "Hexutil.decode: odd length") (fun () ->
+      ignore (Hexutil.decode "abc"));
+  Alcotest.(check bool) "is_hex rejects" false (Hexutil.is_hex "zz");
+  Alcotest.(check bool) "is_hex accepts" true (Hexutil.is_hex "00ffAB")
+
+(* --- stats --- *)
+
+let test_stats_basic () =
+  check (Alcotest.float 1e-9) "mean" 2.5 (Stats.mean [ 1.0; 2.0; 3.0; 4.0 ]);
+  check (Alcotest.float 1e-9) "empty mean" 0.0 (Stats.mean []);
+  check (Alcotest.float 1e-9) "stddev" (sqrt 1.25) (Stats.stddev [ 1.0; 2.0; 3.0; 4.0 ]);
+  check (Alcotest.float 1e-9) "p50" 2.0 (Stats.percentile 50.0 [ 3.0; 1.0; 2.0; 4.0 ]);
+  check (Alcotest.float 1e-9) "p100" 4.0 (Stats.percentile 100.0 [ 3.0; 1.0; 2.0; 4.0 ])
+
+let test_stats_acc_matches_batch =
+  qtest "welford matches batch stats"
+    QCheck2.Gen.(list_size (2 -- 50) (float_bound_inclusive 1000.0))
+    (fun xs ->
+      let acc = Stats.acc_create () in
+      List.iter (Stats.acc_add acc) xs;
+      Float.abs (Stats.acc_mean acc -. Stats.mean xs) < 1e-6
+      && Float.abs (Stats.acc_stddev acc -. Stats.stddev xs) < 1e-6)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+          Alcotest.test_case "uniformity" `Slow test_rng_uniformity;
+          Alcotest.test_case "exponential mean" `Slow test_rng_exponential_mean;
+          Alcotest.test_case "gaussian moments" `Slow test_rng_gaussian_moments;
+          Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutes;
+          Alcotest.test_case "bytes length" `Quick test_rng_bytes_len;
+        ] );
+      ( "heap",
+        [
+          test_heap_sorts;
+          Alcotest.test_case "peek" `Quick test_heap_peek;
+          Alcotest.test_case "interleaved" `Quick test_heap_interleaved;
+          Alcotest.test_case "clear" `Quick test_heap_clear;
+        ] );
+      ( "sha256",
+        [
+          Alcotest.test_case "fips vectors" `Quick test_sha256_vectors;
+          Alcotest.test_case "block boundaries" `Quick test_sha256_block_boundaries;
+          Alcotest.test_case "hmac rfc4231" `Quick test_hmac_vectors;
+          Alcotest.test_case "hmac long key" `Quick test_hmac_long_key;
+        ] );
+      ( "hex",
+        [
+          test_hex_roundtrip;
+          Alcotest.test_case "known values" `Quick test_hex_known;
+          Alcotest.test_case "invalid input" `Quick test_hex_invalid;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "basic" `Quick test_stats_basic;
+          test_stats_acc_matches_batch;
+        ] );
+    ]
