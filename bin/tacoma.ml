@@ -1,7 +1,47 @@
 (* The tacoma command-line tool: run experiments, run ad-hoc agent scripts
-   on a simulated network, and show a traced demo journey. *)
+   on a simulated network, inspect flight-recorder output, and show a traced
+   demo journey. *)
 
 let fmt = Format.std_formatter
+
+(* --- shared pieces --------------------------------------------------------- *)
+
+type topology_kind = Ring | Line | Star | Mesh | Grid
+
+let topology_conv =
+  Cmdliner.Arg.enum
+    [ ("ring", Ring); ("line", Line); ("star", Star); ("mesh", Mesh); ("grid", Grid) ]
+
+let build_topology kind n =
+  match kind with
+  | Ring -> Netsim.Topology.ring n
+  | Line -> Netsim.Topology.line n
+  | Star -> Netsim.Topology.star n
+  | Mesh -> Netsim.Topology.full_mesh n
+  | Grid ->
+    (* smallest square covering at least n sites (a plain sqrt truncation
+       would silently shrink "-n 8" to a 2x2 grid) *)
+    let side = max 1 (int_of_float (ceil (sqrt (float_of_int n)))) in
+    Netsim.Topology.grid side side
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+let write_trace_out net = function
+  | None -> ()
+  | Some path ->
+    Obs.Export.write_file path (Obs.Export.chrome (Netsim.Trace.events (Netsim.Net.trace net)));
+    Format.fprintf fmt "chrome trace written to %s (open in about:tracing or ui.perfetto.dev)@."
+      path
+
+let launch_script k code =
+  let bc = Tacoma_core.Briefcase.create () in
+  Tacoma_core.Briefcase.set bc Tacoma_core.Briefcase.code_folder code;
+  Tacoma_core.Kernel.launch k ~site:0 ~contact:"ag_script" bc
 
 (* --- exp: regenerate experiment tables ------------------------------------ *)
 
@@ -41,32 +81,25 @@ let exp_cmd =
 
 (* --- run: execute a TScript agent on a simulated network ------------------- *)
 
+let common_topology_args =
+  let open Cmdliner in
+  let topology =
+    Arg.(value & opt topology_conv Ring & info [ "t"; "topology" ] ~doc:"ring|line|star|mesh|grid")
+  in
+  let n = Arg.(value & opt int 8 & info [ "n"; "sites" ] ~doc:"Number of sites.") in
+  (topology, n)
+
+let run_simulation ~topology ~n ~trace code =
+  let net = Netsim.Net.create ~trace (build_topology topology n) in
+  let k = Tacoma_core.Kernel.create net in
+  launch_script k code;
+  Netsim.Net.run ~until:3600.0 net;
+  (net, k)
+
 let run_script_cmd =
-  let run topology n code_file trace =
-    let code =
-      let ic = open_in_bin code_file in
-      let len = in_channel_length ic in
-      let s = really_input_string ic len in
-      close_in ic;
-      s
-    in
-    let topo =
-      match topology with
-      | "ring" -> Netsim.Topology.ring n
-      | "line" -> Netsim.Topology.line n
-      | "star" -> Netsim.Topology.star n
-      | "mesh" -> Netsim.Topology.full_mesh n
-      | "grid" ->
-        let side = max 1 (int_of_float (sqrt (float_of_int n))) in
-        Netsim.Topology.grid side side
-      | other -> failwith (Printf.sprintf "unknown topology %S" other)
-    in
-    let net = Netsim.Net.create ~trace topo in
-    let k = Tacoma_core.Kernel.create net in
-    let bc = Tacoma_core.Briefcase.create () in
-    Tacoma_core.Briefcase.set bc Tacoma_core.Briefcase.code_folder code;
-    Tacoma_core.Kernel.launch k ~site:0 ~contact:"ag_script" bc;
-    Netsim.Net.run ~until:3600.0 net;
+  let run topology n code_file trace trace_out =
+    let code = read_file code_file in
+    let net, k = run_simulation ~topology ~n ~trace:(trace || trace_out <> None) code in
     Format.fprintf fmt
       "done at t=%.4fs: %d activations, %d migrations, %d completions, %d deaths@."
       (Netsim.Net.now net)
@@ -84,24 +117,73 @@ let run_script_cmd =
           a.Tacoma_core.Kernel.a_activations a.Tacoma_core.Kernel.a_completions
           a.Tacoma_core.Kernel.a_deaths)
       (Tacoma_core.Kernel.activity k);
-    if trace then Netsim.Trace.dump fmt (Netsim.Net.trace net)
+    if trace then Netsim.Trace.dump fmt (Netsim.Net.trace net);
+    write_trace_out net trace_out
   in
   let open Cmdliner in
-  let topology =
-    Arg.(value & opt string "ring" & info [ "t"; "topology" ] ~doc:"ring|line|star|mesh|grid")
-  in
-  let n = Arg.(value & opt int 8 & info [ "n"; "sites" ] ~doc:"Number of sites.") in
+  let topology, n = common_topology_args in
   let code = Arg.(required & pos 0 (some file) None & info [] ~docv:"SCRIPT") in
   let trace = Arg.(value & flag & info [ "trace" ] ~doc:"Dump the event trace.") in
+  let trace_out =
+    Arg.(value & opt (some string) None
+         & info [ "trace-out" ] ~docv:"FILE"
+             ~doc:"Record the run and write a Chrome trace-event JSON file.")
+  in
   Cmd.v
     (Cmd.info "run"
        ~doc:"Launch a TScript agent (from a file) at site 0 of a simulated network.")
-    Term.(const run $ topology $ n $ code $ trace)
+    Term.(const run $ topology $ n $ code $ trace $ trace_out)
+
+(* --- trace: run a script with the flight recorder on ----------------------- *)
+
+let trace_cmd =
+  let run topology n code_file format out =
+    let code = read_file code_file in
+    let net, _k = run_simulation ~topology ~n ~trace:true code in
+    let events = Netsim.Trace.events (Netsim.Net.trace net) in
+    let contents =
+      match format with `Jsonl -> Obs.Export.jsonl events | `Chrome -> Obs.Export.chrome events
+    in
+    match out with
+    | None -> print_string contents
+    | Some path ->
+      Obs.Export.write_file path contents;
+      Format.fprintf fmt "%d events written to %s@." (List.length events) path
+  in
+  let open Cmdliner in
+  let topology, n = common_topology_args in
+  let code = Arg.(required & pos 0 (some file) None & info [] ~docv:"SCRIPT") in
+  let format =
+    Arg.(value
+         & opt (enum [ ("jsonl", `Jsonl); ("chrome", `Chrome) ]) `Jsonl
+         & info [ "f"; "format" ] ~doc:"Output format: jsonl (one event per line) or chrome.")
+  in
+  let out = Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE") in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run a TScript agent with the flight recorder on and dump structured events.")
+    Term.(const run $ topology $ n $ code $ format $ out)
+
+(* --- metrics: run a script and dump the metrics registry ------------------- *)
+
+let metrics_cmd =
+  let run topology n code_file =
+    let code = read_file code_file in
+    let net, _k = run_simulation ~topology ~n ~trace:false code in
+    Obs.Metrics.pp fmt (Netsim.Net.metrics net)
+  in
+  let open Cmdliner in
+  let topology, n = common_topology_args in
+  let code = Arg.(required & pos 0 (some file) None & info [] ~docv:"SCRIPT") in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:"Run a TScript agent and print the kernel/network metrics registry.")
+    Term.(const run $ topology $ n $ code)
 
 (* --- demo: a traced journey ------------------------------------------------ *)
 
 let demo_cmd =
-  let run () =
+  let run trace_out =
     let code = {|
       log "hello from [host]"
       folder put TRAIL [host]
@@ -119,9 +201,20 @@ let demo_cmd =
     |} in
     let net = Netsim.Net.create ~trace:true (Netsim.Topology.ring 4) in
     let k = Tacoma_core.Kernel.create net in
-    let bc = Tacoma_core.Briefcase.create () in
-    Tacoma_core.Briefcase.set bc Tacoma_core.Briefcase.code_folder code;
-    Tacoma_core.Kernel.launch k ~site:0 ~contact:"ag_script" bc;
+    launch_script k code;
+    (* a rear-guarded journey through the same ring, with site 2 down when
+       the agent first heads there: the hop is lost, the rear guard times
+       out and relaunches the snapshot, and the trace shows the relaunch
+       joining the same causal tree *)
+    let visits = ref [] in
+    let j =
+      Guard.Escort.guarded_journey k
+        ~config:{ Guard.Escort.default_config with ack_timeout = 2.0; retry_period = 2.0 }
+        ~id:"demo" ~itinerary:[ 0; 1; 2; 3 ]
+        ~work:(fun _ctx ~hop _bc -> visits := hop :: !visits)
+        (Tacoma_core.Briefcase.create ())
+    in
+    Netsim.Fault.crash_for net ~site:2 ~at:0.0 ~downtime:5.0;
     Netsim.Net.run ~until:60.0 net;
     Netsim.Trace.dump fmt (Netsim.Net.trace net);
     List.iter
@@ -131,15 +224,27 @@ let demo_cmd =
         in
         if trail <> [] then
           Format.fprintf fmt "trail filed at site %d: %s@." site (String.concat " -> " trail))
-      (Netsim.Net.sites net)
+      (Netsim.Net.sites net);
+    let s = Guard.Escort.stats j in
+    Format.fprintf fmt "guarded journey: hops 0-%d done, %d relaunch(es), completed=%b@."
+      s.Guard.Escort.hops_done s.Guard.Escort.relaunches s.Guard.Escort.completed;
+    write_trace_out net trace_out
   in
   let open Cmdliner in
-  Cmd.v (Cmd.info "demo" ~doc:"Run a traced 4-site agent journey.") Term.(const run $ const ())
+  let trace_out =
+    Arg.(value & opt (some string) None
+         & info [ "trace-out" ] ~docv:"FILE"
+             ~doc:"Also write the run as a Chrome trace-event JSON file.")
+  in
+  Cmd.v
+    (Cmd.info "demo"
+       ~doc:"Run a traced 4-site agent journey plus a rear-guarded journey with a crash.")
+    Term.(const run $ trace_out)
 
 let () =
   let open Cmdliner in
   let info =
     Cmd.info "tacoma" ~version:"1.0.0"
-      ~doc:"TACOMA mobile agents: experiments, agent runner and demos."
+      ~doc:"TACOMA mobile agents: experiments, agent runner, flight recorder and demos."
   in
-  exit (Cmd.eval (Cmd.group info [ exp_cmd; run_script_cmd; demo_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ exp_cmd; run_script_cmd; trace_cmd; metrics_cmd; demo_cmd ]))

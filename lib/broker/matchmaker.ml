@@ -68,9 +68,16 @@ let services t =
 
 let lookup t ~service ?policy () =
   t.lookup_count <- t.lookup_count + 1;
-  Policy.choose
-    (Option.value ~default:t.default_policy policy)
-    ~rng:t.rng ~rr_counter:t.rr_counter (candidates t ~service)
+  let pol = Option.value ~default:t.default_policy policy in
+  let choice = Policy.choose pol ~rng:t.rng ~rr_counter:t.rr_counter (candidates t ~service) in
+  let m = Kernel.metrics t.kernel in
+  (match choice with
+  | Some c ->
+    Obs.Metrics.incr m ~labels:[ ("policy", Policy.name pol) ] "broker.decisions";
+    (* how stale was the load report the decision was based on? *)
+    Obs.Metrics.observe m "broker.report_staleness_s" c.Policy.report_age
+  | None -> Obs.Metrics.incr m "broker.no_provider");
+  choice
 
 let forward_to_peers t bc =
   List.iter
@@ -84,6 +91,7 @@ let handle t bc =
   match Option.value ~default:"lookup" (Briefcase.get bc "OP") with
   | "register" | "report" -> (
     t.report_count <- t.report_count + 1;
+    Obs.Metrics.incr (Kernel.metrics t.kernel) "broker.reports";
     match
       ( Briefcase.get bc "PROVIDER",
         Briefcase.get bc "SERVICE",

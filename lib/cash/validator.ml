@@ -20,7 +20,7 @@ let write_result bc result =
     List.iter (Folder.enqueue folder) (Ecu.wire_list fresh)
   | Error failure -> Briefcase.set bc "STATUS" failure
 
-let perform mint bc =
+let perform metrics mint bc =
   let ecus = read_ecus bc in
   let op = Option.value ~default:"validate" (Briefcase.get bc "OP") in
   let result =
@@ -66,14 +66,19 @@ let perform mint bc =
     | "merge", [] -> Error "merge expects at least one bill"
     | other, _ -> Error (Printf.sprintf "unknown operation %S" other)
   in
+  Obs.Metrics.incr metrics ~labels:[ ("op", op) ] "cash.validations";
+  (match result with
+  | Ok _ -> ()
+  | Error failure -> Obs.Metrics.incr metrics ~labels:[ ("reason", failure) ] "cash.rejections");
   write_result bc result
 
 let install kernel ~site mint =
-  Kernel.register_native kernel ~site agent_name (fun _ bc -> perform mint bc);
+  let metrics = Kernel.metrics kernel in
+  Kernel.register_native kernel ~site agent_name (fun _ bc -> perform metrics mint bc);
   (* remote endpoint: perform, then send the briefcase back to the named
      reply agent at the requesting site *)
   Kernel.register_native kernel ~site "validator_rpc" (fun ctx bc ->
-      perform mint bc;
+      perform metrics mint bc;
       match (Briefcase.get bc "REPLY-HOST", Briefcase.get bc "REPLY-AGENT") with
       | Some host, Some reply_agent -> (
         match Kernel.site_named ctx.Kernel.kernel host with

@@ -4,6 +4,7 @@ let host_folder = "HOST"
 let contact_folder = "CONTACT"
 let code_folder = "CODE"
 let sites_folder = "SITES"
+let trace_folder = "TRACE"
 
 let create () : t = Hashtbl.create 8
 

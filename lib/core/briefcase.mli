@@ -19,6 +19,12 @@ val code_folder : string
 
 val sites_folder : string
 
+val trace_folder : string
+(** System folder carrying the flight-recorder span context ("tN.sM")
+    across migrations, so a journey's activations form one causal tree.
+    Written only while tracing is enabled — with the recorder off the
+    briefcase wire image is untouched. *)
+
 val create : unit -> t
 
 val folder : t -> string -> Folder.t

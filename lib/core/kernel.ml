@@ -114,6 +114,34 @@ let neighbor_names t site = List.map (site_name t) (Net.neighbors t.net site)
 
 let trace t kind detail = Netsim.Trace.add (Net.trace t.net) ~time:(now t) kind detail
 
+(* ---- flight recorder ----------------------------------------------------- *)
+
+let recorder t = Net.recorder t.net
+let metrics t = Net.metrics t.net
+
+(* The span context an agent carries rides in the briefcase's system TRACE
+   folder, so it survives serialisation and migration like any other state.
+   It is only ever written while tracing is on: with the recorder off the
+   briefcase (and hence every wire size) is byte-identical. *)
+let briefcase_span bc =
+  Option.bind (Briefcase.get bc Briefcase.trace_folder) Obs.Span.of_string
+
+let set_briefcase_span bc ctx =
+  Briefcase.set bc Briefcase.trace_folder (Obs.Span.to_string ctx)
+
+let reason_of_exn = function
+  | Agent_error m -> "agent error: " ^ m
+  | Aborted m -> "aborted: " ^ m
+  | Tscript.Interp.Resource_exhausted -> "resource exhausted"
+  | e -> "exception: " ^ Printexc.to_string e
+
+(* label-safe death classification for the kernel.deaths counter *)
+let reason_class_of_exn = function
+  | Agent_error _ -> "agent-error"
+  | Aborted _ -> "aborted"
+  | Tscript.Interp.Resource_exhausted -> "resource-exhausted"
+  | _ -> "exception"
+
 (* ---- agent registry ------------------------------------------------------ *)
 
 let register_native t ?site name fn =
@@ -156,11 +184,47 @@ let send_briefcase t ~src ~dst ~contact bc =
     ~size:(String.length wire + t.cfg.migration_overhead)
     (Migration { mid = 0; contact; bc_wire = wire; needs_ack = false })
 
-let rec meet ctx name bc =
+(* [meet_inner] is the bare dispatch; [meet] wraps it in a child span so
+   nested meets show up as a tree under their activation.  [run_activation]
+   calls [meet_inner] directly — the activation span already names the
+   contact. *)
+let rec meet_inner ctx name bc =
   match resolve ctx.kernel ctx.site name with
   | None -> raise (Agent_error (Printf.sprintf "meet: no agent %S at %s" name (site_name ctx.kernel ctx.site)))
   | Some (Rnative fn) -> fn { ctx with self = name } bc
   | Some (Rscript code) -> run_code { ctx with self = name } ~code bc
+
+and meet ctx name bc =
+  let t = ctx.kernel in
+  Obs.Metrics.incr (metrics t) "kernel.meets";
+  let tr = recorder t in
+  if not (Obs.Tracer.enabled tr) then meet_inner ctx name bc
+  else begin
+    let span_name = "meet:" ^ name in
+    let span =
+      Obs.Tracer.start_span tr ~time:(now t) ?parent:(briefcase_span bc) ~site:ctx.site
+        ~agent:name span_name
+    in
+    (* the callee sees itself as the live span; restore the caller's context
+       afterwards so sibling meets parent correctly *)
+    let saved = Briefcase.get bc Briefcase.trace_folder in
+    set_briefcase_span bc span;
+    let restore () =
+      match saved with
+      | Some s -> Briefcase.set bc Briefcase.trace_folder s
+      | None -> Briefcase.remove bc Briefcase.trace_folder
+    in
+    match meet_inner ctx name bc with
+    | () ->
+      restore ();
+      Obs.Tracer.end_span tr ~time:(now t) ~site:ctx.site ~agent:name span span_name
+    | exception e ->
+      restore ();
+      Obs.Tracer.end_span tr ~time:(now t) ~site:ctx.site ~agent:name
+        ~attrs:[ ("error", Obs.Event.S (reason_of_exn e)) ]
+        span span_name;
+      raise e
+  end
 
 and run_code ctx ~code bc =
   let t = ctx.kernel in
@@ -200,9 +264,29 @@ and run_code ctx ~code bc =
      match Tscript.Interp.eval it t.cfg.prelude with
      | Ok _ -> ()
      | Error msg -> raise (Agent_error (Printf.sprintf "prelude: %s" msg)));
+  let sim0 = now t in
+  let wall0 = Sys.time () in
+  (* the interpreter's shape counters feed per-agent histograms; recorded on
+     every exit path (including Resource_exhausted and effect aborts) *)
+  let observe_profile () =
+    let m = metrics t in
+    let labels = [ ("agent", ctx.self) ] in
+    Obs.Metrics.incr m ~labels "interp.runs";
+    Obs.Metrics.observe m ~labels "interp.steps" (float_of_int (Tscript.Interp.steps_used it));
+    Obs.Metrics.observe m ~labels "interp.sim_s" (now t -. sim0);
+    Obs.Metrics.observe m ~labels "interp.wall_s" (Sys.time () -. wall0);
+    let p = Tscript.Interp.profile it in
+    Obs.Metrics.observe m ~labels "interp.proc_calls" (float_of_int p.Tscript.Interp.proc_calls);
+    Obs.Metrics.observe m ~labels "interp.proc_depth" (float_of_int p.Tscript.Interp.max_depth)
+  in
   match Tscript.Interp.eval it code with
-  | Ok _ -> ()
-  | Error msg -> raise (Agent_error (Printf.sprintf "%s: %s" ctx.self msg))
+  | Ok _ -> observe_profile ()
+  | Error msg ->
+    observe_profile ();
+    raise (Agent_error (Printf.sprintf "%s: %s" ctx.self msg))
+  | exception e ->
+    observe_profile ();
+    raise e
 
 (* ---- activations ----------------------------------------------------------- *)
 
@@ -214,34 +298,58 @@ let activity_cell t agent =
     Hashtbl.replace t.activity_tbl agent c;
     c
 
-let run_hooks_death t ~site ~agent ~reason =
+let run_hooks_death t ~cls ~site ~agent ~reason =
   t.stat_deaths <- t.stat_deaths + 1;
   (activity_cell t agent).c_deaths <- (activity_cell t agent).c_deaths + 1;
+  Obs.Metrics.incr (metrics t) ~labels:[ ("class", cls) ] "kernel.deaths";
   trace t Netsim.Trace.Agent (Printf.sprintf "death of %s@%s: %s" agent (site_name t site) reason);
   List.iter (fun h -> h ~site ~agent ~reason) (List.rev t.death_hooks)
 
 let run_hooks_complete t ~site ~agent =
   t.stat_completions <- t.stat_completions + 1;
   (activity_cell t agent).c_completions <- (activity_cell t agent).c_completions + 1;
+  Obs.Metrics.incr (metrics t) "kernel.completions";
   List.iter (fun h -> h ~site ~agent) (List.rev t.complete_hooks)
-
-let reason_of_exn = function
-  | Agent_error m -> "agent error: " ^ m
-  | Aborted m -> "aborted: " ^ m
-  | Tscript.Interp.Resource_exhausted -> "resource exhausted"
-  | e -> "exception: " ^ Printexc.to_string e
 
 let run_activation t ~site ~contact bc =
   t.stat_activations <- t.stat_activations + 1;
   (activity_cell t contact).c_activations <- (activity_cell t contact).c_activations + 1;
+  Obs.Metrics.incr (metrics t) "kernel.activations";
   let ctx = { kernel = t; site; self = contact } in
+  let tr = recorder t in
+  (* the activation span parents to whatever span dispatched this briefcase
+     (carried in its TRACE folder across the wire), stitching the hops of a
+     journey — and of a guard relaunch — into one causal tree *)
+  let span =
+    if not (Obs.Tracer.enabled tr) then Obs.Span.null
+    else begin
+      let span =
+        Obs.Tracer.start_span tr ~time:(now t) ?parent:(briefcase_span bc) ~site ~agent:contact
+          ("activate:" ^ contact)
+      in
+      set_briefcase_span bc span;
+      span
+    end
+  in
   let open Effect.Deep in
   match_with
-    (fun () -> meet ctx contact bc)
+    (fun () -> meet_inner ctx contact bc)
     ()
     {
-      retc = (fun () -> run_hooks_complete t ~site ~agent:contact);
-      exnc = (fun e -> run_hooks_death t ~site ~agent:contact ~reason:(reason_of_exn e));
+      retc =
+        (fun () ->
+          if Obs.Tracer.enabled tr then
+            Obs.Tracer.end_span tr ~time:(now t) ~site ~agent:contact span
+              ("activate:" ^ contact);
+          run_hooks_complete t ~site ~agent:contact);
+      exnc =
+        (fun e ->
+          if Obs.Tracer.enabled tr then
+            Obs.Tracer.end_span tr ~time:(now t) ~site ~agent:contact
+              ~attrs:[ ("error", Obs.Event.S (reason_of_exn e)) ]
+              span ("activate:" ^ contact);
+          run_hooks_death t ~cls:(reason_class_of_exn e) ~site ~agent:contact
+            ~reason:(reason_of_exn e));
       effc =
         (fun (type b) (eff : b Effect.t) ->
           match eff with
@@ -277,12 +385,14 @@ let rec horus_retry t st mid =
   in
   if st.attempts >= t.cfg.horus_max_attempts || believed_dead then begin
     Hashtbl.remove t.pending_acks mid;
+    Obs.Metrics.incr (metrics t) "horus.giveups";
     trace t Netsim.Trace.Drop
       (Printf.sprintf "horus rexec %d to site-%d gave up after %d attempts" mid st.ack_dst
          st.attempts)
   end
   else begin
     st.attempts <- st.attempts + 1;
+    if st.attempts > 1 then Obs.Metrics.incr (metrics t) "horus.retransmits";
     if Net.site_up t.net st.ack_src then
       transmit t ~src:st.ack_src ~dst:st.ack_dst ~size:st.ack_size st.ack_payload;
     st.ack_timer <-
@@ -293,11 +403,25 @@ let rec horus_retry t st mid =
 
 let migrate t ~src ~dst ~contact ~transport bc =
   t.stat_migrations <- t.stat_migrations + 1;
+  Obs.Metrics.incr (metrics t)
+    ~labels:[ ("transport", transport_name transport) ]
+    "kernel.migrations";
   let wire = Briefcase.serialize bc in
   let base = String.length wire + t.cfg.migration_overhead in
-  trace t Netsim.Trace.Agent
-    (Printf.sprintf "rexec %s: %s -> %s contact=%s (%d bytes)" (transport_name transport)
-       (site_name t src) (site_name t dst) contact base);
+  (let tr = recorder t in
+   if Obs.Tracer.enabled tr then
+     Obs.Tracer.instant tr ~time:(now t) ?span:(briefcase_span bc) ~cat:"kernel" ~site:src
+       ~agent:contact
+       ~msg:
+         (Printf.sprintf "rexec %s: %s -> %s contact=%s (%d bytes)" (transport_name transport)
+            (site_name t src) (site_name t dst) contact base)
+       ~attrs:
+         [
+           ("dst", Obs.Event.I dst);
+           ("transport", Obs.Event.S (transport_name transport));
+           ("bytes", Obs.Event.I base);
+         ]
+       "kernel.migrate");
   match transport with
   | Rsh ->
     (* a fresh interpreter is spawned remotely before the agent can move *)
@@ -348,7 +472,8 @@ let handle_message t site seen (msg : Netsim.Message.t) =
       match Briefcase.deserialize bc_wire with
       | bc -> run_activation t ~site ~contact bc
       | exception Codec.Malformed reason ->
-        run_hooks_death t ~site ~agent:contact ~reason:("corrupt briefcase: " ^ reason)
+        run_hooks_death t ~cls:"corrupt-briefcase" ~site ~agent:contact
+          ~reason:("corrupt briefcase: " ^ reason)
     end
   | Migration_ack { mid } -> (
     match Hashtbl.find_opt t.pending_acks mid with
@@ -460,7 +585,7 @@ let filer_agent ctx bc =
   List.iter
     (fun name ->
       if name <> "FOLDER" && name <> "FROM" && name <> Briefcase.contact_folder
-         && name <> Briefcase.host_folder then
+         && name <> Briefcase.host_folder && name <> Briefcase.trace_folder then
         Folder.iter (fun e -> Cabinet.put cab name e) (Briefcase.folder bc name))
     (Briefcase.names bc)
 

@@ -71,6 +71,23 @@ val config : t -> config
 val now : t -> float
 val rng : t -> Tacoma_util.Rng.t
 
+(** {1 Flight recorder}
+
+    The kernel records into the network's shared recorder and metrics
+    registry ({!Netsim.Net.recorder} / {!Netsim.Net.metrics}): activation
+    and meet spans, migration instants, per-agent interpreter profiles, and
+    counters for activations / completions / deaths-by-class / migrations-
+    by-transport.  Span context travels in the briefcase's
+    {!Briefcase.trace_folder}, so a journey's hops — including guard
+    relaunches, which re-ship a snapshot briefcase — form one causal
+    tree. *)
+
+val recorder : t -> Obs.Tracer.t
+val metrics : t -> Obs.Metrics.t
+
+val briefcase_span : Briefcase.t -> Obs.Span.ctx option
+(** The span context the briefcase currently carries, if any. *)
+
 (** {1 Sites} *)
 
 val site_named : t -> string -> Netsim.Site.id option
@@ -95,7 +112,9 @@ val agent_exists : t -> Netsim.Site.id -> string -> bool
 
 val meet : ctx -> string -> Briefcase.t -> unit
 (** The meet operation.  Executes the named agent at [ctx.site],
-    synchronously.  @raise Agent_error if the agent is unknown. *)
+    synchronously.  When tracing is on, the callee runs under a child span
+    of whatever span the briefcase carried.  @raise Agent_error if the
+    agent is unknown. *)
 
 val launch : t -> site:Netsim.Site.id -> contact:string -> Briefcase.t -> unit
 (** Start a fresh top-level activation (scheduled immediately).  Launching

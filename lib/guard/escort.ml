@@ -85,16 +85,31 @@ let run_guard j ctx ~hop snapshot =
   Hashtbl.replace j.guards hop st;
   j.guards_installed <- j.guards_installed + 1;
   Kernel.sleep ctx j.cfg.ack_timeout;
+  let m = Kernel.metrics j.kernel in
   let rec watch () =
     if (not st.released) && not j.completed then begin
+      Obs.Metrics.incr m "guard.ack_timeouts";
       if st.attempts < j.cfg.max_relaunch then begin
         st.attempts <- st.attempts + 1;
         j.relaunches <- j.relaunches + 1;
+        Obs.Metrics.incr m "guard.relaunches";
+        (let tr = Kernel.recorder j.kernel in
+         if Obs.Tracer.enabled tr then
+           Obs.Tracer.instant tr ~time:(Kernel.now j.kernel)
+             ?span:(Kernel.briefcase_span snapshot) ~cat:"guard" ~site:ctx.Kernel.site
+             ~attrs:
+               [
+                 ("journey", Obs.Event.S j.id);
+                 ("hop", Obs.Event.I hop);
+                 ("attempt", Obs.Event.I st.attempts);
+               ]
+             "guard.relaunch");
         migrate_hop j ~src:ctx.Kernel.site ~hop snapshot;
         Kernel.sleep ctx (j.cfg.retry_period *. float_of_int st.attempts);
         watch ()
       end
-      (* else: give up; the computation is lost unless another copy runs *)
+      else Obs.Metrics.incr m "guard.giveups"
+      (* give up; the computation is lost unless another copy runs *)
     end
   in
   watch ()
@@ -122,6 +137,11 @@ let arrive j ctx bc =
       let snapshot = Briefcase.copy bc in
       let gbc = Briefcase.create () in
       Briefcase.set gbc "ESCORT-HOP" (string_of_int (hop + 1));
+      (* present only while tracing: the guard activation then joins the
+         journey's trace instead of starting an unrelated root *)
+      (match Briefcase.get bc Briefcase.trace_folder with
+      | Some span -> Briefcase.set gbc Briefcase.trace_folder span
+      | None -> ());
       Folder_stash.put gbc snapshot;
       if j.cfg.durable then begin
         (* checkpoint the guard to disk: if this site crashes and restarts,

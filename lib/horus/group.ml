@@ -122,6 +122,7 @@ let handle_ordered m ~gseq ~sender data =
 
 let adopt_view t m view =
   if view.View.id > m.view.View.id then begin
+    Obs.Metrics.incr (Net.metrics t.net) ~labels:[ ("group", t.gname) ] "horus.view_changes";
     m.view <- view;
     if view.View.id > t.latest_view.View.id then t.latest_view <- view;
     (* forget suspicion state for departed members *)
@@ -148,7 +149,10 @@ let rec tick t m =
     let now = Net.now t.net in
     List.iter
       (fun dst ->
-        if dst <> m.site then send_body t ~src:m.site ~dst ~extra:0 (Heartbeat { from = m.site }))
+        if dst <> m.site then begin
+          Obs.Metrics.incr (Net.metrics t.net) ~labels:[ ("group", t.gname) ] "horus.heartbeats";
+          send_body t ~src:m.site ~dst ~extra:0 (Heartbeat { from = m.site })
+        end)
       m.view.View.members;
     let suspected =
       List.filter

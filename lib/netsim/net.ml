@@ -15,6 +15,7 @@ type t = {
   loss_rate : float;
   stats : Netstats.t;
   trace : Trace.t;
+  metrics : Obs.Metrics.t;
   site_states : site_state array;
   disabled_links : (int * int, unit) Hashtbl.t;
   link_busy_until : (int * int, float) Hashtbl.t; (* FIFO serialisation per link *)
@@ -35,6 +36,7 @@ let create ?(seed = 42L) ?(trace = false) ?(loss_rate = 0.0) topo =
     rng;
     stats = Netstats.create ();
     trace = Trace.create ~enabled:trace ();
+    metrics = Obs.Metrics.create ();
     site_states =
       Array.init n (fun _ ->
           { up = true; handlers = []; crash_hooks = []; restart_hooks = [] });
@@ -50,6 +52,8 @@ let now t = Engine.now t.engine
 let rng t = t.rng
 let stats t = t.stats
 let trace t = t.trace
+let recorder t = Trace.tracer t.trace
+let metrics t = t.metrics
 let sites t = Topology.sites t.topo
 let neighbors t s = Topology.neighbors t.topo s
 
@@ -148,6 +152,10 @@ let path_delay t ~size src path =
    first waits until the link has drained earlier traffic, occupies it for
    the serialisation time, then propagates for the latency.  Returns the
    absolute arrival time and updates the links' busy horizons. *)
+let link_label a b =
+  let a, b = if a < b then (a, b) else (b, a) in
+  Printf.sprintf "%d-%d" a b
+
 let reserve_path t ~size src path =
   let now = Engine.now t.engine in
   let rec go arrival prev_site = function
@@ -161,6 +169,10 @@ let reserve_path t ~size src path =
       let k = key prev_site hop in
       let free_at = Option.value ~default:0.0 (Hashtbl.find_opt t.link_busy_until k) in
       let start_tx = Float.max arrival free_at in
+      (* queue depth at this link, in seconds of backlog ahead of us *)
+      Obs.Metrics.observe t.metrics
+        ~labels:[ ("link", link_label prev_site hop) ]
+        "net.link.wait_s" (start_tx -. arrival);
       let tx_done = start_tx +. (float_of_int size /. l.bandwidth) in
       Hashtbl.replace t.link_busy_until k tx_done;
       go (tx_done +. l.latency) hop rest
@@ -176,23 +188,39 @@ let delivery_delay t src dst ~size =
 
 let deliver t (msg : Message.t) =
   let st = state t msg.dst in
+  let tr = recorder t in
   if st.up then begin
     Netstats.record_delivery t.stats;
-    Trace.add t.trace ~time:(now t) Trace.Deliver
-      (Printf.sprintf "site-%d <- site-%d (%d bytes)" msg.dst msg.src msg.size);
+    Obs.Metrics.incr t.metrics "net.delivered";
+    Obs.Metrics.observe t.metrics "net.delivery_latency_s" (now t -. msg.sent_at);
+    if Obs.Tracer.enabled tr then
+      Obs.Tracer.instant tr ~time:(now t) ~cat:"net" ~site:msg.dst
+        ~attrs:
+          [
+            ("src", Obs.Event.I msg.src);
+            ("bytes", Obs.Event.I msg.size);
+            ("latency", Obs.Event.F (now t -. msg.sent_at));
+          ]
+        "net.deliver";
     List.iter (fun (_, h) -> h msg) (List.rev st.handlers)
   end
   else begin
     Netstats.record_drop t.stats;
-    Trace.add t.trace ~time:(now t) Trace.Drop
-      (Printf.sprintf "site-%d down, dropped %d bytes from site-%d" msg.dst msg.size msg.src)
+    Obs.Metrics.incr t.metrics ~labels:[ ("reason", "site-down") ] "net.drops";
+    if Obs.Tracer.enabled tr then
+      Obs.Tracer.instant tr ~time:(now t) ~cat:"net" ~site:msg.dst
+        ~msg:(Printf.sprintf "site-%d down, dropped %d bytes from site-%d" msg.dst msg.size msg.src)
+        ~attrs:[ ("reason", Obs.Event.S "site-down") ]
+        "net.drop"
   end
 
 let send t ~src ~dst ~size payload =
   if size < 0 then invalid_arg "Net.send: negative size";
+  let tr = recorder t in
   if site_up t src then begin
     if src = dst then begin
       Netstats.record_send t.stats ~bytes:size ~hops:0;
+      Obs.Metrics.incr t.metrics "net.sent";
       let msg =
         { Message.src; dst; size; payload; sent_at = now t; hops = 0 }
       in
@@ -202,28 +230,50 @@ let send t ~src ~dst ~size payload =
       match route t src dst with
       | None ->
         Netstats.record_drop t.stats;
-        Trace.add t.trace ~time:(now t) Trace.Drop
-          (Printf.sprintf "no route site-%d -> site-%d (%d bytes)" src dst size)
+        Obs.Metrics.incr t.metrics ~labels:[ ("reason", "no-route") ] "net.drops";
+        if Obs.Tracer.enabled tr then
+          Obs.Tracer.instant tr ~time:(now t) ~cat:"net" ~site:src
+            ~msg:(Printf.sprintf "no route site-%d -> site-%d (%d bytes)" src dst size)
+            ~attrs:[ ("reason", Obs.Event.S "no-route"); ("dst", Obs.Event.I dst) ]
+            "net.drop"
       | Some path ->
         let hops = List.length path in
         Netstats.record_send t.stats ~bytes:size ~hops;
+        Obs.Metrics.incr t.metrics "net.sent";
+        Obs.Metrics.observe t.metrics "net.msg_hops" (float_of_int hops);
         let rec charge prev_site = function
           | [] -> ()
           | hop :: rest ->
             Netstats.record_link_bytes t.stats prev_site hop size;
+            Obs.Metrics.incr t.metrics
+              ~labels:[ ("link", link_label prev_site hop) ]
+              ~by:size "net.link.bytes";
             charge hop rest
         in
         charge src path;
-        Trace.add t.trace ~time:(now t) Trace.Send
-          (Printf.sprintf "site-%d -> site-%d (%d bytes, %d hops)" src dst size hops);
+        if Obs.Tracer.enabled tr then
+          Obs.Tracer.instant tr ~time:(now t) ~cat:"net" ~site:src
+            ~attrs:
+              [
+                ("dst", Obs.Event.I dst);
+                ("bytes", Obs.Event.I size);
+                ("hops", Obs.Event.I hops);
+              ]
+            "net.send";
         let arrival = reserve_path t ~size src path in
         if t.loss_rate > 0.0 && Rng.float t.loss_rng < t.loss_rate then begin
           (* lost in transit: the bytes were spent, nothing arrives *)
           ignore
             (Engine.schedule_at t.engine ~at:arrival (fun () ->
                  Netstats.record_drop t.stats;
-                 Trace.add t.trace ~time:(now t) Trace.Drop
-                   (Printf.sprintf "lost in transit site-%d -> site-%d (%d bytes)" src dst size)))
+                 Obs.Metrics.incr t.metrics ~labels:[ ("reason", "loss") ] "net.drops";
+                 if Obs.Tracer.enabled tr then
+                   Obs.Tracer.instant tr ~time:(now t) ~cat:"net" ~site:src
+                     ~msg:
+                       (Printf.sprintf "lost in transit site-%d -> site-%d (%d bytes)" src
+                          dst size)
+                     ~attrs:[ ("reason", Obs.Event.S "loss"); ("dst", Obs.Event.I dst) ]
+                     "net.drop"))
         end
         else begin
           let msg = { Message.src; dst; size; payload; sent_at = now t; hops } in
@@ -237,6 +287,7 @@ let crash t s =
     st.up <- false;
     st.handlers <- [];
     t.generation <- t.generation + 1;
+    Obs.Metrics.incr t.metrics "net.crashes";
     Trace.add t.trace ~time:(now t) Trace.Crash (Printf.sprintf "site-%d" s);
     List.iter (fun hook -> hook ()) (List.rev st.crash_hooks)
   end
@@ -246,6 +297,7 @@ let restart t s =
   if not st.up then begin
     st.up <- true;
     t.generation <- t.generation + 1;
+    Obs.Metrics.incr t.metrics "net.restarts";
     Trace.add t.trace ~time:(now t) Trace.Restart (Printf.sprintf "site-%d" s);
     List.iter (fun hook -> hook ()) (List.rev st.restart_hooks)
   end

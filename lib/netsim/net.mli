@@ -27,6 +27,15 @@ val rng : t -> Tacoma_util.Rng.t
 
 val stats : t -> Netstats.t
 val trace : t -> Trace.t
+
+(** The structured flight recorder behind [trace]: every layer (kernel,
+    broker, guard, horus) records spans and instants here.  Enabled
+    together with [trace]. *)
+val recorder : t -> Obs.Tracer.t
+
+(** The simulation-wide metrics registry (always on): per-link bytes and
+    queue waits, drops by reason, plus whatever upper layers register. *)
+val metrics : t -> Obs.Metrics.t
 val sites : t -> Site.id list
 val neighbors : t -> Site.id -> Site.id list
 

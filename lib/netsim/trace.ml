@@ -2,19 +2,60 @@ type kind = Send | Deliver | Drop | Crash | Restart | Agent | Note
 
 type entry = { time : float; kind : kind; detail : string }
 
-type t = { mutable enabled : bool; mutable entries : entry list (* newest first *) }
+type t = Obs.Tracer.t
 
-let create ?(enabled = false) () = { enabled; entries = [] }
-let enable t b = t.enabled <- b
-let enabled t = t.enabled
-
-let add t ~time kind detail =
-  if t.enabled then t.entries <- { time; kind; detail } :: t.entries
-
-let entries t = List.rev t.entries
-let clear t = t.entries <- []
+let create ?(enabled = false) () = Obs.Tracer.create ~enabled ()
+let tracer t = t
+let enable t b = Obs.Tracer.set_enabled t b
+let enabled t = Obs.Tracer.enabled t
 
 let kind_name = function
+  | Send -> "net.send"
+  | Deliver -> "net.deliver"
+  | Drop -> "net.drop"
+  | Crash -> "net.crash"
+  | Restart -> "net.restart"
+  | Agent -> "agent"
+  | Note -> "note"
+
+let kind_of_name = function
+  | "net.send" -> Send
+  | "net.deliver" -> Deliver
+  | "net.drop" -> Drop
+  | "net.crash" -> Crash
+  | "net.restart" -> Restart
+  | "note" -> Note
+  | _ -> Agent
+
+let cat_of = function
+  | Send | Deliver | Drop | Crash | Restart -> "net"
+  | Agent -> "kernel"
+  | Note -> "note"
+
+let add t ~time kind detail =
+  if Obs.Tracer.enabled t then
+    Obs.Tracer.instant t ~time ~cat:(cat_of kind) ~msg:detail (kind_name kind)
+
+let events t = Obs.Tracer.events t
+
+(* the legacy flat view: derive a detail string when the event was recorded
+   structurally (attrs but no msg) *)
+let entry_of_event (e : Obs.Event.t) =
+  let detail =
+    if e.msg <> "" then e.msg
+    else
+      String.concat " "
+        ((if e.agent = "" then [] else [ e.agent ])
+        @ List.map
+            (fun (k, v) -> Printf.sprintf "%s=%s" k (Obs.Event.attr_to_string v))
+            e.attrs)
+  in
+  { time = e.time; kind = kind_of_name e.name; detail }
+
+let entries t = List.map entry_of_event (events t)
+let clear t = Obs.Tracer.clear t
+
+let short_kind = function
   | Send -> "send"
   | Deliver -> "deliver"
   | Drop -> "drop"
@@ -24,7 +65,6 @@ let kind_name = function
   | Note -> "note"
 
 let pp_entry fmt e =
-  Format.fprintf fmt "[%10.4f] %-8s %s" e.time (kind_name e.kind) e.detail
+  Format.fprintf fmt "[%10.4f] %-8s %s" e.time (short_kind e.kind) e.detail
 
-let dump fmt t =
-  List.iter (fun e -> Format.fprintf fmt "%a@." pp_entry e) (entries t)
+let dump fmt t = Obs.Export.pp_events fmt (events t)

@@ -1,6 +1,9 @@
-(** Chronological event trace.  Optional (off by default); experiments turn
-    it on to explain *why* a run behaved as it did — e.g. which crash killed
-    which agent and which rear guard relaunched it. *)
+(** Chronological event trace — now a thin view over the structured flight
+    recorder ([Obs.Tracer]).  The old flat-string API is kept for existing
+    call sites and tests: [add] records a structured instant event whose
+    [msg] is the detail string, and [entries] projects the structured
+    stream back into [{time; kind; detail}] rows.  New instrumentation
+    should record through [tracer] (or [Net.recorder]) directly. *)
 
 type kind =
   | Send
@@ -16,15 +19,25 @@ type entry = { time : float; kind : kind; detail : string }
 type t
 
 val create : ?enabled:bool -> unit -> t
+
+val tracer : t -> Obs.Tracer.t
+(** The underlying flight recorder: structured events, span allocation. *)
+
 val enable : t -> bool -> unit
 val enabled : t -> bool
 
 val add : t -> time:float -> kind -> string -> unit
-(** No-op while disabled. *)
+(** No-op while disabled.  Records a structured instant event named after
+    [kind] with the detail as [msg]. *)
 
 val entries : t -> entry list
-(** Oldest first. *)
+(** Oldest first.  Structured span events project to [Agent] entries;
+    events named ["net.*"] map back onto their network [kind]. *)
+
+val events : t -> Obs.Event.t list
+(** The full structured stream, oldest first. *)
 
 val clear : t -> unit
+val kind_name : kind -> string
 val pp_entry : Format.formatter -> entry -> unit
 val dump : Format.formatter -> t -> unit

@@ -1,0 +1,21 @@
+type ctx = { trace_id : int; span_id : int }
+
+let null = { trace_id = 0; span_id = 0 }
+let is_null c = c.span_id = 0
+
+let to_string c = Printf.sprintf "t%d.s%d" c.trace_id c.span_id
+
+let of_string s =
+  match String.index_opt s '.' with
+  | Some dot
+    when String.length s > dot + 2 && s.[0] = 't' && s.[dot + 1] = 's' -> (
+    match
+      ( int_of_string_opt (String.sub s 1 (dot - 1)),
+        int_of_string_opt (String.sub s (dot + 2) (String.length s - dot - 2)) )
+    with
+    | Some trace_id, Some span_id when trace_id > 0 && span_id > 0 ->
+      Some { trace_id; span_id }
+    | _ -> None)
+  | _ -> None
+
+let pp fmt c = Format.pp_print_string fmt (to_string c)

@@ -16,6 +16,9 @@ and t = {
   mutable limit : int option;
   mutable depth : int;
   max_depth : int;
+  mutable prof_commands : int;
+  mutable prof_proc_calls : int;
+  mutable prof_max_depth : int;
   parse_cache : (string, Ast.script) Hashtbl.t;
   out_buf : Buffer.t;
   mutable output : string -> unit;
@@ -194,6 +197,7 @@ and eval_command t words =
   | [] -> ""
   | name_word :: arg_words ->
     charge t 1;
+    t.prof_commands <- t.prof_commands + 1;
     let name = eval_word t name_word in
     let args = List.map (eval_word t) arg_words in
     dispatch t name args
@@ -328,6 +332,8 @@ let define_proc t name param_spec body =
       let frame = bind_params name params args in
       t.frames <- frame :: t.frames;
       t.depth <- t.depth + 1;
+      t.prof_proc_calls <- t.prof_proc_calls + 1;
+      if t.depth > t.prof_max_depth then t.prof_max_depth <- t.depth;
       let restore () =
         t.frames <- List.tl t.frames;
         t.depth <- t.depth - 1
@@ -1072,6 +1078,9 @@ let create ?step_limit ?(max_depth = 256) () =
       limit = step_limit;
       depth = 0;
       max_depth;
+      prof_commands = 0;
+      prof_proc_calls = 0;
+      prof_max_depth = 0;
       parse_cache = Hashtbl.create 64;
       out_buf = Buffer.create 256;
       output = ignore;
@@ -1082,3 +1091,12 @@ let create ?step_limit ?(max_depth = 256) () =
   install_strings t;
   install_lists t;
   t
+
+(* ---- profiling ---------------------------------------------------------- *)
+
+(* Defined last: the [commands]/[max_depth] field names would otherwise
+   shadow the interpreter record's own fields for the code above. *)
+type profile = { commands : int; proc_calls : int; max_depth : int }
+
+let profile t =
+  { commands = t.prof_commands; proc_calls = t.prof_proc_calls; max_depth = t.prof_max_depth }

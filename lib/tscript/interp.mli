@@ -79,3 +79,16 @@ val reset_steps : t -> unit
 val charge : t -> int -> unit
 (** Host commands use this to bill extra steps for expensive operations.
     @raise Resource_exhausted when the budget runs out. *)
+
+(** {1 Profiling}
+
+    Cheap always-on counters, read after a run by the kernel's flight
+    recorder ({!steps_used} is the billing view; these are the shape). *)
+
+type profile = {
+  commands : int;   (** command executions (same granularity as steps) *)
+  proc_calls : int; (** user proc invocations *)
+  max_depth : int;  (** deepest proc nesting reached *)
+}
+
+val profile : t -> profile
