@@ -93,7 +93,7 @@ let bench_journey =
          Kernel.register_native k "hopper" (fun ctx bc ->
              let left =
                Option.value ~default:0
-                 (Option.bind (Briefcase.get bc "LEFT") int_of_string_opt)
+                 (Option.bind (Briefcase.find_opt bc "LEFT") int_of_string_opt)
              in
              if left > 0 then begin
                Briefcase.set bc "LEFT" (string_of_int (left - 1));
@@ -174,6 +174,39 @@ let bench_sha256 =
   Test.make ~name:"util sha256 (1 KiB)"
     (Staged.stage (fun () -> ignore (Tacoma_util.Sha256.digest payload)))
 
+(* E9: the cache's per-hop work — digest the CODE folder, publish, resolve *)
+let bench_codecache_roundtrip =
+  let module Codecache = Tacoma_core.Codecache in
+  let code = [ String.make 4096 'c' ] in
+  let cache = Codecache.create Codecache.default_config in
+  Test.make ~name:"e9 codecache digest + insert + find (4 KiB)"
+    (Staged.stage (fun () ->
+         let dg = Codecache.digest code in
+         ignore (Codecache.insert cache ~digest:dg code);
+         ignore (Codecache.find_opt cache ~digest:dg)))
+
+(* E9: the revisiting journey the experiment measures, cache on *)
+let bench_cached_journey =
+  Test.make ~name:"e9 8-hop revisiting tcp journey, cache on (whole sim)"
+    (Staged.stage (fun () ->
+         let net = Net.create (Topology.ring 4) in
+         let config =
+           { Kernel.default_config with cache = Some Kernel.default_cache_config }
+         in
+         let k = Kernel.create ~config net in
+         Kernel.register_native k "hopper" (fun ctx bc ->
+             match Folder.pop (Briefcase.folder bc "ITINERARY") with
+             | None -> ()
+             | Some next ->
+               Kernel.migrate ctx.Kernel.kernel ~src:ctx.Kernel.site ~dst:(int_of_string next)
+                 ~contact:"hopper" ~transport:Kernel.Tcp bc);
+         let bc = Briefcase.create () in
+         Folder.replace (Briefcase.folder bc "ITINERARY")
+           [ "1"; "2"; "3"; "0"; "1"; "2"; "3"; "0" ];
+         Briefcase.set bc Briefcase.code_folder (String.make 4096 'c');
+         Kernel.launch k ~site:0 ~contact:"hopper" bc;
+         Net.run net))
+
 let tests =
   Test.make_grouped ~name:"tacoma"
     [
@@ -194,14 +227,20 @@ let tests =
       bench_meet;
       bench_engine;
       bench_sha256;
+      bench_codecache_roundtrip;
+      bench_cached_journey;
     ]
 
 let () =
+  (* --quick: one short sample per benchmark — a CI smoke run proving every
+     benchmarked path still executes, not a measurement *)
+  let quick = Array.exists (( = ) "--quick") Sys.argv in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
   in
   let instances = Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+  let quota = if quick then Time.millisecond 50. else Time.second 0.5 in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota ~kde:(Some 1000) () in
   let raw = Benchmark.all cfg instances tests in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let rows = ref [] in

@@ -6,23 +6,8 @@ let fmt = Format.std_formatter
 
 (* --- shared pieces --------------------------------------------------------- *)
 
-type topology_kind = Ring | Line | Star | Mesh | Grid
-
-let topology_conv =
-  Cmdliner.Arg.enum
-    [ ("ring", Ring); ("line", Line); ("star", Star); ("mesh", Mesh); ("grid", Grid) ]
-
-let build_topology kind n =
-  match kind with
-  | Ring -> Netsim.Topology.ring n
-  | Line -> Netsim.Topology.line n
-  | Star -> Netsim.Topology.star n
-  | Mesh -> Netsim.Topology.full_mesh n
-  | Grid ->
-    (* smallest square covering at least n sites (a plain sqrt truncation
-       would silently shrink "-n 8" to a 2x2 grid) *)
-    let side = max 1 (int_of_float (ceil (sqrt (float_of_int n)))) in
-    Netsim.Topology.grid side side
+(* transport/topology/cache parsing lives in Tacoma_cli so experiment
+   drivers and this tool stay in sync *)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -74,7 +59,7 @@ let exp_cmd =
         `Ok ())
   in
   let open Cmdliner in
-  let ids = Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (e1..e8) or 'all'.") in
+  let ids = Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (e1..e9) or 'all'.") in
   Cmd.v
     (Cmd.info "exp" ~doc:"Regenerate experiment tables (no arguments lists them).")
     Term.(ret (const run $ ids))
@@ -84,22 +69,47 @@ let exp_cmd =
 let common_topology_args =
   let open Cmdliner in
   let topology =
-    Arg.(value & opt topology_conv Ring & info [ "t"; "topology" ] ~doc:"ring|line|star|mesh|grid")
+    Arg.(value
+         & opt Tacoma_cli.topology_conv Tacoma_cli.Ring
+         & info [ "t"; "topology" ] ~doc:"ring|line|star|mesh|grid")
   in
   let n = Arg.(value & opt int 8 & info [ "n"; "sites" ] ~doc:"Number of sites.") in
   (topology, n)
 
-let run_simulation ~topology ~n ~trace code =
-  let net = Netsim.Net.create ~trace (build_topology topology n) in
-  let k = Tacoma_core.Kernel.create net in
+let run_simulation ~topology ~n ~trace ?transport ?cache code =
+  let net = Netsim.Net.create ~trace (Tacoma_cli.build_topology topology n) in
+  let config =
+    Tacoma_cli.apply_config ?transport ?cache Tacoma_core.Kernel.default_config
+  in
+  let k = Tacoma_core.Kernel.create ~config net in
   launch_script k code;
   Netsim.Net.run ~until:3600.0 net;
   (net, k)
 
+let pp_cache_stats k =
+  match (Tacoma_core.Kernel.config k).Tacoma_core.Kernel.cache with
+  | None -> ()
+  | Some _ ->
+    let used, entries =
+      List.fold_left
+        (fun (ub, ec) site ->
+          match Tacoma_core.Kernel.code_cache k site with
+          | Some c ->
+            (ub + Tacoma_core.Codecache.bytes_used c, ec + Tacoma_core.Codecache.entry_count c)
+          | None -> (ub, ec))
+        (0, 0)
+        (Netsim.Net.sites (Tacoma_core.Kernel.net k))
+    in
+    Format.fprintf fmt "code cache: %d entries, %d bytes cached, %d wire bytes saved@." entries
+      used
+      (Tacoma_core.Kernel.cache_saved_bytes k)
+
 let run_script_cmd =
-  let run topology n code_file trace trace_out =
+  let run topology n transport cache code_file trace trace_out =
     let code = read_file code_file in
-    let net, k = run_simulation ~topology ~n ~trace:(trace || trace_out <> None) code in
+    let net, k =
+      run_simulation ~topology ~n ~trace:(trace || trace_out <> None) ?transport ?cache code
+    in
     Format.fprintf fmt
       "done at t=%.4fs: %d activations, %d migrations, %d completions, %d deaths@."
       (Netsim.Net.now net)
@@ -111,6 +121,7 @@ let run_script_cmd =
       (Netsim.Netstats.messages_sent (Netsim.Net.stats net))
       (Netsim.Netstats.bytes_sent (Netsim.Net.stats net))
       (Netsim.Netstats.byte_hops (Netsim.Net.stats net));
+    pp_cache_stats k;
     List.iter
       (fun (name, a) ->
         Format.fprintf fmt "agent %-24s activations=%d completions=%d deaths=%d@." name
@@ -132,7 +143,8 @@ let run_script_cmd =
   Cmd.v
     (Cmd.info "run"
        ~doc:"Launch a TScript agent (from a file) at site 0 of a simulated network.")
-    Term.(const run $ topology $ n $ code $ trace $ trace_out)
+    Term.(const run $ topology $ n $ Tacoma_cli.transport_term $ Tacoma_cli.cache_term $ code
+          $ trace $ trace_out)
 
 (* --- trace: run a script with the flight recorder on ----------------------- *)
 
@@ -167,10 +179,11 @@ let trace_cmd =
 (* --- metrics: run a script and dump the metrics registry ------------------- *)
 
 let metrics_cmd =
-  let run topology n code_file =
+  let run topology n transport cache code_file =
     let code = read_file code_file in
-    let net, _k = run_simulation ~topology ~n ~trace:false code in
-    Obs.Metrics.pp fmt (Netsim.Net.metrics net)
+    let net, k = run_simulation ~topology ~n ~trace:false ?transport ?cache code in
+    Obs.Metrics.pp fmt (Netsim.Net.metrics net);
+    pp_cache_stats k
   in
   let open Cmdliner in
   let topology, n = common_topology_args in
@@ -178,7 +191,7 @@ let metrics_cmd =
   Cmd.v
     (Cmd.info "metrics"
        ~doc:"Run a TScript agent and print the kernel/network metrics registry.")
-    Term.(const run $ topology $ n $ code)
+    Term.(const run $ topology $ n $ Tacoma_cli.transport_term $ Tacoma_cli.cache_term $ code)
 
 (* --- demo: a traced journey ------------------------------------------------ *)
 

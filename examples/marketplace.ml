@@ -95,7 +95,7 @@ let () =
   Kernel.launch kernel ~site:witness_site ~contact:"court" bc;
   Net.run net;
   Printf.printf "court verdict on tx-2: %s\n"
-    (Option.value ~default:"?" (Briefcase.get bc "VERDICT"));
+    (Option.value ~default:"?" (Briefcase.find_opt bc "VERDICT"));
 
   (* and a thief who copies bills gets nothing: validation rejects copies *)
   let bill = Mint.issue mint ~amount:25 in

@@ -74,28 +74,28 @@ let setup kernel =
       let site = ctx.Kernel.site in
       let cab = Kernel.cabinet k site in
       let msg =
-        match Option.map of_wire (Briefcase.get bc "MSG") with
+        match Option.map of_wire (Briefcase.find_opt bc "MSG") with
         | Some (Ok m) -> m
         | Some (Error e) -> raise (Kernel.Agent_error ("mail: corrupt message: " ^ e))
         | None -> raise (Kernel.Agent_error "mail: missing MSG folder")
       in
       let hops =
-        Option.value ~default:0 (Option.bind (Briefcase.get bc "HOPS") int_of_string_opt)
+        Option.value ~default:0 (Option.bind (Briefcase.find_opt bc "HOPS") int_of_string_opt)
       in
       let resend ~to_user =
         dispatch k ~src:site { msg with to_user } ~hops:(hops + 1)
       in
       if hops > max_hops then () (* mail loop: drop *)
       else
-        match Cabinet.get_kv cab list_folder ~key:msg.to_user with
+        match Cabinet.find_kv_opt cab list_folder ~key:msg.to_user with
         | Some members ->
           (* mailing list: the agent clones per member *)
           List.iter (fun m -> resend ~to_user:m) (Value.to_list_exn members)
         | None -> (
-          match Cabinet.get_kv cab dir_folder ~key:msg.to_user with
+          match Cabinet.find_kv_opt cab dir_folder ~key:msg.to_user with
           | None ->
             (* unknown recipient: bounce to the sender, unless that would loop *)
-            if Cabinet.get_kv cab dir_folder ~key:msg.from_user <> None then
+            if Cabinet.find_kv_opt cab dir_folder ~key:msg.from_user <> None then
               dispatch k ~src:site
                 {
                   from_user = "postmaster";
@@ -115,14 +115,14 @@ let setup kernel =
               Kernel.meet ctx "rexec" bc
             end
             else
-              match Cabinet.get_kv cab forward_folder ~key:msg.to_user with
+              match Cabinet.find_kv_opt cab forward_folder ~key:msg.to_user with
               | Some target when target <> msg.to_user -> resend ~to_user:target
               | Some _ | None ->
                 Cabinet.put cab (mailbox_folder msg.to_user) (wire msg);
                 (* delivered mail is durable *)
                 Cabinet.flush_folder cab (mailbox_folder msg.to_user);
                 (* vacation auto-reply, once per sender, never to replies *)
-                (match Cabinet.get_kv cab vacation_folder ~key:msg.to_user with
+                (match Cabinet.find_kv_opt cab vacation_folder ~key:msg.to_user with
                 | Some note
                   when msg.from_user <> "postmaster"
                        && (not
@@ -153,7 +153,7 @@ let mailbox kernel ~user =
   match all_sites kernel with
   | [] -> []
   | site0 :: _ -> (
-    match Cabinet.get_kv (Kernel.cabinet kernel site0) dir_folder ~key:user with
+    match Cabinet.find_kv_opt (Kernel.cabinet kernel site0) dir_folder ~key:user with
     | None -> []
     | Some home_name -> (
       match Kernel.site_named kernel home_name with

@@ -173,8 +173,8 @@ let run_monitor_agents kernel ~field ~sensor_sites ~centre ~hour_scale () =
   Kernel.register_native kernel ~site:centre "stormcast-alert-sink" (fun ctx bc ->
       let k = ctx.Kernel.kernel in
       match
-        ( Option.bind (Briefcase.get bc "READING") (fun w -> Result.to_option (Weather.of_wire w)),
-          Option.bind (Briefcase.get bc "PRODUCED-AT") float_of_string_opt )
+        ( Option.bind (Briefcase.find_opt bc "READING") (fun w -> Result.to_option (Weather.of_wire w)),
+          Option.bind (Briefcase.find_opt bc "PRODUCED-AT") float_of_string_opt )
       with
       | Some r, Some produced_at ->
         received := (r, Kernel.now k -. produced_at) :: !received

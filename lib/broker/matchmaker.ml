@@ -88,31 +88,31 @@ let forward_to_peers t bc =
     t.peers
 
 let handle t bc =
-  match Option.value ~default:"lookup" (Briefcase.get bc "OP") with
+  match Option.value ~default:"lookup" (Briefcase.find_opt bc "OP") with
   | "register" | "report" -> (
     t.report_count <- t.report_count + 1;
     Obs.Metrics.incr (Kernel.metrics t.kernel) "broker.reports";
     match
-      ( Briefcase.get bc "PROVIDER",
-        Briefcase.get bc "SERVICE",
-        Briefcase.get bc "HOST" )
+      ( Briefcase.find_opt bc "PROVIDER",
+        Briefcase.find_opt bc "SERVICE",
+        Briefcase.find_opt bc "HOST" )
     with
     | Some provider, Some service, Some host ->
       let capacity =
-        Option.value ~default:1.0 (Option.bind (Briefcase.get bc "CAPACITY") float_of_string_opt)
+        Option.value ~default:1.0 (Option.bind (Briefcase.find_opt bc "CAPACITY") float_of_string_opt)
       in
       let load =
-        Option.value ~default:0.0 (Option.bind (Briefcase.get bc "LOAD") float_of_string_opt)
+        Option.value ~default:0.0 (Option.bind (Briefcase.find_opt bc "LOAD") float_of_string_opt)
       in
       upsert t ~provider ~service ~host ~capacity ~load;
       (* one-hop gossip: only originals travel to peers *)
       if not (Briefcase.mem bc "GOSSIP") then forward_to_peers t bc
     | _ -> raise (Kernel.Agent_error "broker: report needs PROVIDER/SERVICE/HOST"))
   | "lookup" -> (
-    match Briefcase.get bc "SERVICE" with
+    match Briefcase.find_opt bc "SERVICE" with
     | None -> raise (Kernel.Agent_error "broker: lookup needs SERVICE")
     | Some service -> (
-      let policy = Option.bind (Briefcase.get bc "POLICY") Policy.of_string in
+      let policy = Option.bind (Briefcase.find_opt bc "POLICY") Policy.of_string in
       match lookup t ~service ?policy () with
       | Some c ->
         Briefcase.set bc "PROVIDER" c.Policy.provider;

@@ -58,7 +58,7 @@ let install kernel ~site ~public_name ~secret_name ~policy () =
   let drain_agent = "protect-drain:" ^ public_name in
   Kernel.register_native kernel ~site drain_agent (fun ctx _ -> drain t ctx);
   Kernel.register_native kernel ~site public_name (fun _ bc ->
-      let requester = Option.value ~default:"" (Briefcase.get bc "REQUESTER") in
+      let requester = Option.value ~default:"" (Briefcase.find_opt bc "REQUESTER") in
       if not (allowed t requester) then begin
         t.denied_count <- t.denied_count + 1;
         Briefcase.set bc "STATUS" "denied"

@@ -77,7 +77,7 @@ let install kernel ~site ~name ~service ~capacity ?ticket_key () =
         match ticket_key with
         | None -> true
         | Some key -> (
-          match Option.map Ticket.of_wire (Briefcase.get bc "TICKET") with
+          match Option.map Ticket.of_wire (Briefcase.find_opt bc "TICKET") with
           | Some (Ok tk) ->
             Ticket.valid ~key ~now:(Kernel.now ctx.Kernel.kernel) tk
             && tk.Ticket.service = t.pservice
@@ -89,16 +89,16 @@ let install kernel ~site ~name ~service ~capacity ?ticket_key () =
       end
       else begin
         let work =
-          match Option.bind (Briefcase.get bc "WORK") float_of_string_opt with
+          match Option.bind (Briefcase.find_opt bc "WORK") float_of_string_opt with
           | Some w when w > 0.0 -> w
           | Some _ | None -> 1.0
         in
         let reply =
-          match (Briefcase.get bc "REPLY-HOST", Briefcase.get bc "REPLY-AGENT") with
+          match (Briefcase.find_opt bc "REPLY-HOST", Briefcase.find_opt bc "REPLY-AGENT") with
           | Some h, Some a -> Some (h, a)
           | _ -> None
         in
-        let job_id = Option.value ~default:"job" (Briefcase.get bc "JOB") in
+        let job_id = Option.value ~default:"job" (Briefcase.find_opt bc "JOB") in
         Queue.add { work; reply; job_id } t.queue;
         Briefcase.set bc "STATUS" "queued";
         publish_load kernel t;

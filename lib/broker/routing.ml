@@ -78,7 +78,7 @@ let advertise t node =
     node.peers
 
 let handle_advert t node bc =
-  let from = Option.value ~default:"?" (Briefcase.get bc "FROM") in
+  let from = Option.value ~default:"?" (Briefcase.find_opt bc "FROM") in
   let now = Kernel.now t.kernel in
   Folder.iter
     (fun line ->
@@ -105,12 +105,12 @@ let handle_advert t node bc =
     (Briefcase.folder bc "SERVICES")
 
 let reply_error t ~src bc msg =
-  match (Briefcase.get bc "REPLY-HOST", Briefcase.get bc "REPLY-AGENT") with
+  match (Briefcase.find_opt bc "REPLY-HOST", Briefcase.find_opt bc "REPLY-AGENT") with
   | Some host, Some agent -> (
     match Kernel.site_named t.kernel host with
     | Some dst ->
       let out = Briefcase.create () in
-      Briefcase.set out "QUERY" (Option.value ~default:"" (Briefcase.get bc "QUERY"));
+      Briefcase.set out "QUERY" (Option.value ~default:"" (Briefcase.find_opt bc "QUERY"));
       Briefcase.set out "STATUS" msg;
       Kernel.send_briefcase t.kernel ~src ~dst ~contact:agent out
     | None -> ())
@@ -118,21 +118,21 @@ let reply_error t ~src bc msg =
 
 let handle_query t node bc =
   let src = Matchmaker.site node.broker in
-  match Briefcase.get bc "SERVICE" with
+  match Briefcase.find_opt bc "SERVICE" with
   | None -> reply_error t ~src bc "malformed-query"
   | Some service -> (
     let hops =
-      Option.value ~default:0 (Option.bind (Briefcase.get bc "HOPS") int_of_string_opt)
+      Option.value ~default:0 (Option.bind (Briefcase.find_opt bc "HOPS") int_of_string_opt)
     in
     match Matchmaker.lookup node.broker ~service () with
     | Some c -> (
       (* resolved here: answer the requester directly *)
-      match (Briefcase.get bc "REPLY-HOST", Briefcase.get bc "REPLY-AGENT") with
+      match (Briefcase.find_opt bc "REPLY-HOST", Briefcase.find_opt bc "REPLY-AGENT") with
       | Some host, Some agent -> (
         match Kernel.site_named t.kernel host with
         | Some dst ->
           let out = Briefcase.create () in
-          Briefcase.set out "QUERY" (Option.value ~default:"" (Briefcase.get bc "QUERY"));
+          Briefcase.set out "QUERY" (Option.value ~default:"" (Briefcase.find_opt bc "QUERY"));
           Briefcase.set out "STATUS" "ok";
           Briefcase.set out "PROVIDER" c.Policy.provider;
           Briefcase.set out "PROVIDER-HOST" c.Policy.host;
@@ -171,7 +171,7 @@ let add_broker t broker =
   Hashtbl.replace t.nodes name node;
   Kernel.register_native t.kernel ~site:(Matchmaker.site broker) (route_agent_name broker)
     (fun _ bc ->
-      match Option.value ~default:"query" (Briefcase.get bc "OP") with
+      match Option.value ~default:"query" (Briefcase.find_opt bc "OP") with
       | "advert" -> handle_advert t node bc
       | "query" -> handle_query t node bc
       | other -> raise (Kernel.Agent_error ("route: unknown op " ^ other)));
@@ -196,23 +196,23 @@ let routed_lookup t ~from ~service ~on_reply =
   Kernel.register_native t.kernel ~site:src reply_agent (fun _ bc ->
       if not !fired then begin
         fired := true;
-        match Briefcase.get bc "STATUS" with
+        match Briefcase.find_opt bc "STATUS" with
         | Some "ok" ->
           let candidate =
             {
-              Policy.provider = Option.value ~default:"?" (Briefcase.get bc "PROVIDER");
-              host = Option.value ~default:"?" (Briefcase.get bc "PROVIDER-HOST");
+              Policy.provider = Option.value ~default:"?" (Briefcase.find_opt bc "PROVIDER");
+              host = Option.value ~default:"?" (Briefcase.find_opt bc "PROVIDER-HOST");
               capacity =
                 Option.value ~default:1.0
-                  (Option.bind (Briefcase.get bc "CAPACITY") float_of_string_opt);
+                  (Option.bind (Briefcase.find_opt bc "CAPACITY") float_of_string_opt);
               load =
                 Option.value ~default:0.0
-                  (Option.bind (Briefcase.get bc "LOAD") float_of_string_opt);
+                  (Option.bind (Briefcase.find_opt bc "LOAD") float_of_string_opt);
               report_age = 0.0;
             }
           in
           let hops =
-            Option.value ~default:0 (Option.bind (Briefcase.get bc "HOPS") int_of_string_opt)
+            Option.value ~default:0 (Option.bind (Briefcase.find_opt bc "HOPS") int_of_string_opt)
           in
           on_reply (Ok (candidate, hops))
         | Some err -> on_reply (Error err)

@@ -27,7 +27,7 @@ let of_wire w =
 
 let install_agent kernel ~site ~key ~ttl =
   Kernel.register_native kernel ~site "ticket" (fun ctx bc ->
-      match (Briefcase.get bc "SERVICE", Briefcase.get bc "JOB") with
+      match (Briefcase.find_opt bc "SERVICE", Briefcase.find_opt bc "JOB") with
       | Some service, Some job ->
         let now = Kernel.now ctx.Kernel.kernel in
         Briefcase.set bc "TICKET" (wire (issue ~key ~service ~job ~now ~ttl))

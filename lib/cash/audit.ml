@@ -73,10 +73,10 @@ let witness_log_folder = "WITNESS-LOG"
 let install_witness kernel ~site =
   Kernel.register_native kernel ~site "witness" (fun ctx bc ->
       let cab = Kernel.cabinet ctx.Kernel.kernel ctx.Kernel.site in
-      (match Briefcase.get bc "STMT" with
+      (match Briefcase.find_opt bc "STMT" with
       | Some stmt -> Cabinet.put cab witness_log_folder stmt
       | None -> ());
-      match (Briefcase.get bc "FORWARD-HOST", Briefcase.get bc "FORWARD-AGENT") with
+      match (Briefcase.find_opt bc "FORWARD-HOST", Briefcase.find_opt bc "FORWARD-AGENT") with
       | Some host, Some agent -> (
         match Kernel.site_named ctx.Kernel.kernel host with
         | Some dst ->
@@ -91,7 +91,7 @@ let read_witness_log kernel ~site =
 
 let install_court kernel ~site ~keys =
   Kernel.register_native kernel ~site "court" (fun ctx bc ->
-      match Briefcase.get bc "TX" with
+      match Briefcase.find_opt bc "TX" with
       | None -> raise (Kernel.Agent_error "court: missing TX folder")
       | Some tx ->
         let log = read_witness_log ctx.Kernel.kernel ~site:ctx.Kernel.site in

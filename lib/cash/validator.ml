@@ -22,7 +22,7 @@ let write_result bc result =
 
 let perform metrics mint bc =
   let ecus = read_ecus bc in
-  let op = Option.value ~default:"validate" (Briefcase.get bc "OP") in
+  let op = Option.value ~default:"validate" (Briefcase.find_opt bc "OP") in
   let result =
     match (op, ecus) with
     | "validate", es ->
@@ -79,7 +79,7 @@ let install kernel ~site mint =
      reply agent at the requesting site *)
   Kernel.register_native kernel ~site "validator_rpc" (fun ctx bc ->
       perform metrics mint bc;
-      match (Briefcase.get bc "REPLY-HOST", Briefcase.get bc "REPLY-AGENT") with
+      match (Briefcase.find_opt bc "REPLY-HOST", Briefcase.find_opt bc "REPLY-AGENT") with
       | Some host, Some reply_agent -> (
         match Kernel.site_named ctx.Kernel.kernel host with
         | Some dst ->
@@ -97,7 +97,7 @@ let remote_validate kernel ~src ~bank ecus ~on_reply =
   Kernel.register_native kernel ~site:src reply_agent (fun _ bc ->
       if not !fired then begin
         fired := true;
-        match Briefcase.get bc "STATUS" with
+        match Briefcase.find_opt bc "STATUS" with
         | Some "ok" -> on_reply (Ok (read_ecus bc))
         | Some failure -> on_reply (Error failure)
         | None -> on_reply (Error "missing status")

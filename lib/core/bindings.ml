@@ -97,7 +97,7 @@ let install_cabinet_cmd host it =
       | [ "kvset"; name; k; v ] ->
         Cabinet.set_kv cab name ~key:k v;
         ""
-      | [ "kvget"; name; k ] -> Option.value ~default:"" (Cabinet.get_kv cab name ~key:k)
+      | [ "kvget"; name; k ] -> Option.value ~default:"" (Cabinet.find_kv_opt cab name ~key:k)
       | [ "flush" ] ->
         Cabinet.flush cab;
         ""

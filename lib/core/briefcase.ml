@@ -3,6 +3,7 @@ type t = (string, Folder.t) Hashtbl.t
 let host_folder = "HOST"
 let contact_folder = "CONTACT"
 let code_folder = "CODE"
+let code_ref_folder = "CODE-REF"
 let sites_folder = "SITES"
 let trace_folder = "TRACE"
 
@@ -29,10 +30,12 @@ let copy t =
 let clear t = Hashtbl.reset t
 
 let set t name v = Folder.replace (folder t name) [ v ]
-let get t name = Option.bind (folder_opt t name) Folder.peek
+let find_opt t name = Option.bind (folder_opt t name) Folder.peek
 
-let get_exn t name =
-  match get t name with Some v -> v | None -> raise Not_found
+let get t name =
+  match find_opt t name with Some v -> v | None -> raise Not_found
+
+let get_exn = get
 
 let byte_size t =
   (* mirrors [serialize]: 4-byte folder count, then per folder the encoded

@@ -17,6 +17,13 @@ val contact_folder : string
 
 val code_folder : string
 
+val code_ref_folder : string
+(** System folder replacing [code_folder] on the wire when the kernel's
+    content-addressed code cache is enabled: it carries the CODE payload's
+    digest instead of the payload itself ({!Codecache}).  Resolved — and
+    removed — by the receiving place before the activation runs, so agents
+    never observe it. *)
+
 val sites_folder : string
 
 val trace_folder : string
@@ -48,11 +55,16 @@ val clear : t -> unit
 val set : t -> string -> string -> unit
 (** Replace the folder's contents with one element. *)
 
-val get : t -> string -> string option
-(** Head element of the folder, if any. *)
+val find_opt : t -> string -> string option
+(** Head element of the folder, if any.  (Stdlib naming convention shared
+    with {!Folder} and {!Cabinet}: [find_opt] returns an option, [get]
+    raises.) *)
+
+val get : t -> string -> string
+(** @raise Not_found when the folder is absent or empty. *)
 
 val get_exn : t -> string -> string
-(** @raise Not_found when the folder is absent or empty. *)
+  [@@deprecated "use Briefcase.get (same behaviour); get_exn goes away next release"]
 
 (** {1 Wire format} *)
 

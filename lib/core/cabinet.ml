@@ -55,6 +55,11 @@ let peek t name =
   | None -> None
   | Some f -> ( match f.elems with [] -> None | e :: _ -> Some e)
 
+let find_opt = peek
+
+let get t name =
+  match peek t name with Some v -> v | None -> raise Not_found
+
 let elements t name =
   match Hashtbl.find_opt t.folders name with None -> [] | Some f -> f.elems
 
@@ -108,13 +113,15 @@ let remove_kv t name ~key =
     List.iter (index_remove f) removed;
     f.elems <- List.filter keep f.elems
 
-let get_kv t name ~key =
+let find_kv_opt t name ~key =
   let rec find = function
     | [] -> None
     | e :: rest -> (
       match kv_split e with Some (k, v) when k = key -> Some v | _ -> find rest)
   in
   find (elements t name)
+
+let get_kv = find_kv_opt
 
 let kv_bindings t name = List.filter_map kv_split (elements t name)
 

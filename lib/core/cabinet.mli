@@ -25,6 +25,15 @@ val put : t -> string -> string -> unit
 val push : t -> string -> string -> unit
 val pop : t -> string -> string option
 val peek : t -> string -> string option
+
+val find_opt : t -> string -> string option
+(** Head element of the named folder ([peek] under the stdlib naming
+    convention shared with {!Briefcase} and {!Folder}: [find_opt] returns
+    an option, [get] raises). *)
+
+val get : t -> string -> string
+(** @raise Not_found when the folder is absent or empty. *)
+
 val elements : t -> string -> string list
 val replace : t -> string -> string list -> unit
 val remove_folder : t -> string -> unit
@@ -43,9 +52,12 @@ val remove_element : t -> string -> string -> unit
     Elements of the form [key=value]; [set_kv] replaces the binding. *)
 
 val set_kv : t -> string -> key:string -> string -> unit
-val get_kv : t -> string -> key:string -> string option
+val find_kv_opt : t -> string -> key:string -> string option
 val remove_kv : t -> string -> key:string -> unit
 val kv_bindings : t -> string -> (string * string) list
+
+val get_kv : t -> string -> key:string -> string option
+  [@@deprecated "use Cabinet.find_kv_opt (same behaviour); get_kv goes away next release"]
 
 (** {1 Persistence} *)
 

@@ -1,0 +1,101 @@
+type config = {
+  budget_bytes : int;
+  request_bytes : int;
+  reply_overhead_bytes : int;
+  fetch_timeout : float;
+}
+
+let default_config =
+  {
+    budget_bytes = 256 * 1024;
+    request_bytes = 96;
+    reply_overhead_bytes = 32;
+    fetch_timeout = 10.0;
+  }
+
+(* Recency is a monotonic stamp per entry; eviction scans for the minimum.
+   The table holds one entry per distinct agent program, so the scan is
+   over a handful of entries — simpler than an intrusive list and just as
+   deterministic. *)
+type entry = { elems : string list; e_bytes : int; mutable stamp : int }
+
+type t = {
+  cfg : config;
+  tbl : (string, entry) Hashtbl.t;
+  on_evict : digest:string -> bytes:int -> unit;
+  mutable used : int;
+  mutable tick : int;
+}
+
+let create ?(on_evict = fun ~digest:_ ~bytes:_ -> ()) cfg =
+  { cfg; tbl = Hashtbl.create 16; on_evict; used = 0; tick = 0 }
+
+let wire_bytes elems =
+  (* mirrors Codec.encode_strings: 4-byte count, then each length-prefixed
+     element *)
+  List.fold_left (fun acc e -> acc + Codec.encoded_size e) 4 elems
+
+let digest elems =
+  let buf = Buffer.create 256 in
+  Codec.encode_strings buf elems;
+  Tacoma_util.Sha256.hex_digest (Buffer.contents buf)
+
+let touch t e =
+  t.tick <- t.tick + 1;
+  e.stamp <- t.tick
+
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun dg e acc ->
+        match acc with
+        | Some (_, best) when best.stamp <= e.stamp -> acc
+        | _ -> Some (dg, e))
+      t.tbl None
+  in
+  match victim with
+  | None -> ()
+  | Some (dg, e) ->
+    Hashtbl.remove t.tbl dg;
+    t.used <- t.used - e.e_bytes;
+    t.on_evict ~digest:dg ~bytes:e.e_bytes
+
+let insert t ~digest elems =
+  match Hashtbl.find_opt t.tbl digest with
+  | Some e ->
+    touch t e;
+    true
+  | None ->
+    let bytes = List.fold_left (fun acc e -> acc + String.length e) 0 elems in
+    if bytes > t.cfg.budget_bytes then false
+    else begin
+      while t.used + bytes > t.cfg.budget_bytes do
+        evict_lru t
+      done;
+      let e = { elems; e_bytes = bytes; stamp = 0 } in
+      touch t e;
+      Hashtbl.replace t.tbl digest e;
+      t.used <- t.used + bytes;
+      true
+    end
+
+let find_opt t ~digest =
+  match Hashtbl.find_opt t.tbl digest with
+  | None -> None
+  | Some e ->
+    touch t e;
+    Some e.elems
+
+let mem t ~digest = Hashtbl.mem t.tbl digest
+
+let clear t =
+  Hashtbl.reset t.tbl;
+  t.used <- 0
+
+let bytes_used t = t.used
+let entry_count t = Hashtbl.length t.tbl
+
+let digests t =
+  Hashtbl.fold (fun dg e acc -> (e.stamp, dg) :: acc) t.tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare b a)
+  |> List.map snd

@@ -62,7 +62,8 @@ let replace t l =
   t.len <- List.length l;
   t.bytes <- List.fold_left (fun a s -> a + String.length s) 0 l
 
-let nth t i = if i < 0 || i >= t.len then None else List.nth_opt (to_list t) i
+let nth_opt t i = if i < 0 || i >= t.len then None else List.nth_opt (to_list t) i
+let nth = nth_opt
 let contains t x = List.mem x t.front || List.mem x t.back
 let iter f t = List.iter f (to_list t)
 let fold f init t = List.fold_left f init (to_list t)

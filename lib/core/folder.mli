@@ -39,7 +39,14 @@ val dequeue : t -> string option
 
 val clear : t -> unit
 val replace : t -> string list -> unit
+
+val nth_opt : t -> int -> string option
+(** Stdlib naming convention shared with {!Briefcase} and {!Cabinet}:
+    [*_opt] returns an option. *)
+
 val nth : t -> int -> string option
+  [@@deprecated "use Folder.nth_opt (same behaviour); nth goes away next release"]
+
 val contains : t -> string -> bool
 (** Linear scan — folders are unindexed by design. *)
 

@@ -13,40 +13,56 @@ let transport_of_string s =
 
 let transport_name = function Rsh -> "rsh" | Tcp -> "tcp" | Horus -> "horus"
 
+type rsh_config = { spawn_delay : float; extra_bytes : int }
+type tcp_config = { handshake_bytes : int; extra_bytes : int }
+
+type horus_config = {
+  extra_bytes : int;
+  ack_bytes : int;
+  rto : float;
+  max_attempts : int;
+  group : bool;
+}
+
+type cache_config = Codecache.config = {
+  budget_bytes : int;
+  request_bytes : int;
+  reply_overhead_bytes : int;
+  fetch_timeout : float;
+}
+
 type config = {
   default_transport : transport;
   step_limit : int option;
   prelude : string;
   migration_overhead : int;
-  rsh_spawn_delay : float;
-  rsh_extra_bytes : int;
-  tcp_handshake_bytes : int;
-  tcp_extra_bytes : int;
-  horus_extra_bytes : int;
-  horus_ack_bytes : int;
-  horus_rto : float;
-  horus_max_attempts : int;
-  horus_group : bool;
+  rsh : rsh_config;
+  tcp : tcp_config;
+  horus : horus_config;
+  cache : cache_config option;
 }
 
 (* The rsh numbers model spawning a fresh interpreter per hop (fork/exec +
    login) as the first TACOMA prototype did; tcp models a cached connection
    with a 3-way handshake on first use; horus adds acks and retransmission. *)
+let default_rsh_config = { spawn_delay = 0.25; extra_bytes = 1024 }
+let default_tcp_config = { handshake_bytes = 192; extra_bytes = 64 }
+
+let default_horus_config =
+  { extra_bytes = 256; ack_bytes = 64; rto = 1.0; max_attempts = 5; group = false }
+
+let default_cache_config = Codecache.default_config
+
 let default_config =
   {
     default_transport = Tcp;
     step_limit = Some 2_000_000;
     prelude = Prelude.standard;
     migration_overhead = 128;
-    rsh_spawn_delay = 0.25;
-    rsh_extra_bytes = 1024;
-    tcp_handshake_bytes = 192;
-    tcp_extra_bytes = 64;
-    horus_extra_bytes = 256;
-    horus_ack_bytes = 64;
-    horus_rto = 1.0;
-    horus_max_attempts = 5;
-    horus_group = false;
+    rsh = default_rsh_config;
+    tcp = default_tcp_config;
+    horus = default_horus_config;
+    cache = None;
   }
 
 exception Agent_error of string
@@ -63,10 +79,24 @@ type ack_state = {
   mutable ack_timer : Engine.timer option;
 }
 
+type pending_fetch = {
+  pf_site : int;
+  pf_epoch : int;
+  pf_contact : string;
+  pf_bc : Briefcase.t;
+  pf_digest : string;
+  pf_span : Obs.Span.ctx;
+  mutable pf_timer : Engine.timer option;
+}
+
 type t = {
   net : Net.t;
   cfg : config;
   places : place array;
+  caches : Codecache.t array; (* empty unless cfg.cache = Some _ *)
+  pending_fetches : (int, pending_fetch) Hashtbl.t;
+  mutable fetch_counter : int;
+  mutable cache_saved_bytes : int;
   global_natives : (string, native) Hashtbl.t;
   site_natives : (int * string, native) Hashtbl.t;
   global_scripts : (string, string) Hashtbl.t;
@@ -99,6 +129,8 @@ and native = ctx -> Briefcase.t -> unit
 type Netsim.Message.payload +=
   | Migration of { mid : int; contact : string; bc_wire : string; needs_ack : bool }
   | Migration_ack of { mid : int }
+  | Code_fetch of { fid : int; digest : string }
+  | Code_fetch_reply of { fid : int; code : string list option }
 
 type _ Effect.t += Sleep_eff : float -> unit Effect.t
 
@@ -124,7 +156,7 @@ let metrics t = Net.metrics t.net
    It is only ever written while tracing is on: with the recorder off the
    briefcase (and hence every wire size) is byte-identical. *)
 let briefcase_span bc =
-  Option.bind (Briefcase.get bc Briefcase.trace_folder) Obs.Span.of_string
+  Option.bind (Briefcase.find_opt bc Briefcase.trace_folder) Obs.Span.of_string
 
 let set_briefcase_span bc ctx =
   Briefcase.set bc Briefcase.trace_folder (Obs.Span.to_string ctx)
@@ -207,7 +239,7 @@ and meet ctx name bc =
     in
     (* the callee sees itself as the live span; restore the caller's context
        afterwards so sibling meets parent correctly *)
-    let saved = Briefcase.get bc Briefcase.trace_folder in
+    let saved = Briefcase.find_opt bc Briefcase.trace_folder in
     set_briefcase_span bc span;
     let restore () =
       match saved with
@@ -383,7 +415,7 @@ let rec horus_retry t st mid =
       | Some v -> not (Horus.View.mem v st.ack_dst)
       | None -> false)
   in
-  if st.attempts >= t.cfg.horus_max_attempts || believed_dead then begin
+  if st.attempts >= t.cfg.horus.max_attempts || believed_dead then begin
     Hashtbl.remove t.pending_acks mid;
     Obs.Metrics.incr (metrics t) "horus.giveups";
     trace t Netsim.Trace.Drop
@@ -397,16 +429,133 @@ let rec horus_retry t st mid =
       transmit t ~src:st.ack_src ~dst:st.ack_dst ~size:st.ack_size st.ack_payload;
     st.ack_timer <-
       Some
-        (Net.schedule t.net ~after:(t.cfg.horus_rto *. float_of_int st.attempts) (fun () ->
+        (Net.schedule t.net ~after:(t.cfg.horus.rto *. float_of_int st.attempts) (fun () ->
              if Hashtbl.mem t.pending_acks mid then horus_retry t st mid))
   end
+
+(* ---- content-addressed code cache (see Codecache) --------------------------- *)
+
+let cache_enabled t = Array.length t.caches > 0
+let code_cache t site = if cache_enabled t then Some t.caches.(site) else None
+
+(* Net wire bytes the substitution has avoided so far: bytes stripped from
+   migrations, minus everything the fallback fetch protocol cost. *)
+let add_cache_saved t delta =
+  t.cache_saved_bytes <- t.cache_saved_bytes + delta;
+  Obs.Metrics.set_gauge (metrics t) "codecache.bytes_saved"
+    (float_of_int t.cache_saved_bytes)
+
+(* Wire contribution of one briefcase folder: encoded name + element list. *)
+let folder_wire_bytes name elems = Codec.encoded_size name + Codecache.wire_bytes elems
+
+(* The sender side of the cache: replace the CODE payload with its digest
+   and publish the entry in this site's cache, which also serves fallback
+   fetches.  Ships in full when the cache is off, CODE is empty, or the
+   entry alone exceeds the budget (then nobody could ever resolve it). *)
+let serialize_for_wire t ~src bc =
+  if not (cache_enabled t) then Briefcase.serialize bc
+  else
+    match Briefcase.folder_opt bc Briefcase.code_folder with
+    | None -> Briefcase.serialize bc
+    | Some f when Folder.is_empty f -> Briefcase.serialize bc
+    | Some f ->
+      let elems = Folder.to_list f in
+      let dg = Codecache.digest elems in
+      if not (Codecache.insert t.caches.(src) ~digest:dg elems) then
+        Briefcase.serialize bc
+      else begin
+        let bc' = Briefcase.copy bc in
+        Briefcase.remove bc' Briefcase.code_folder;
+        Briefcase.set bc' Briefcase.code_ref_folder dg;
+        add_cache_saved t
+          (folder_wire_bytes Briefcase.code_folder elems
+          - folder_wire_bytes Briefcase.code_ref_folder [ dg ]);
+        Briefcase.serialize bc'
+      end
+
+let end_fetch_span t pf ?error () =
+  let tr = recorder t in
+  if Obs.Tracer.enabled tr then
+    Obs.Tracer.end_span tr ~time:(now t) ~site:pf.pf_site ~agent:pf.pf_contact
+      ?attrs:(Option.map (fun e -> [ ("error", Obs.Event.S e) ]) error)
+      pf.pf_span "codecache.fetch"
+
+(* Receiver side, miss path: hold the activation, ask the sending site for
+   the code (one extra round trip, byte-accounted like any message), and
+   give up after the configured timeout — the loss then shows up as a
+   death of class ["code-fetch"], which rear guards recover like any other
+   lost hop. *)
+let begin_fetch t ~site ~src ~contact ~digest ~ccfg bc =
+  let fid = t.fetch_counter in
+  t.fetch_counter <- fid + 1;
+  let tr = recorder t in
+  let span =
+    if not (Obs.Tracer.enabled tr) then Obs.Span.null
+    else
+      Obs.Tracer.start_span tr ~time:(now t) ?parent:(briefcase_span bc) ~site ~agent:contact
+        ~attrs:[ ("digest", Obs.Event.S digest); ("src", Obs.Event.I src) ]
+        "codecache.fetch"
+  in
+  let pf =
+    {
+      pf_site = site;
+      pf_epoch = t.places.(site).epoch;
+      pf_contact = contact;
+      pf_bc = bc;
+      pf_digest = digest;
+      pf_span = span;
+      pf_timer = None;
+    }
+  in
+  Hashtbl.replace t.pending_fetches fid pf;
+  Obs.Metrics.incr (metrics t) "codecache.fetches";
+  add_cache_saved t (-ccfg.request_bytes);
+  transmit t ~src:site ~dst:src ~size:ccfg.request_bytes (Code_fetch { fid; digest });
+  pf.pf_timer <-
+    Some
+      (Net.schedule t.net ~after:ccfg.fetch_timeout (fun () ->
+           if Hashtbl.mem t.pending_fetches fid then begin
+             Hashtbl.remove t.pending_fetches fid;
+             Obs.Metrics.incr (metrics t) "codecache.fetch_failures";
+             end_fetch_span t pf ~error:"timeout" ();
+             if Net.site_up t.net site && t.places.(site).epoch = pf.pf_epoch then
+               run_hooks_death t ~cls:"code-fetch" ~site ~agent:contact
+                 ~reason:
+                   (Printf.sprintf "code fetch timed out (digest %s)"
+                      (String.sub digest 0 (min 12 (String.length digest))))
+           end))
+
+(* Every migration lands here after deserialisation: resolve a code
+   reference against this place's cache, or fall back to a fetch. *)
+let accept_briefcase t ~site ~src ~contact bc =
+  match Briefcase.find_opt bc Briefcase.code_ref_folder with
+  | None -> run_activation t ~site ~contact bc
+  | Some dg -> (
+    Briefcase.remove bc Briefcase.code_ref_folder;
+    match t.cfg.cache with
+    | None ->
+      (* a reference arrived at a kernel without a cache: nothing can
+         resolve it, which is a configuration error, not data *)
+      run_hooks_death t ~cls:"code-fetch" ~site ~agent:contact
+        ~reason:"briefcase carries a code reference but no cache is configured"
+    | Some ccfg -> (
+      match Codecache.find_opt t.caches.(site) ~digest:dg with
+      | Some elems ->
+        Obs.Metrics.incr (metrics t) "codecache.hits";
+        Folder.replace (Briefcase.folder bc Briefcase.code_folder) elems;
+        run_activation t ~site ~contact bc
+      | None ->
+        Obs.Metrics.incr (metrics t) "codecache.misses";
+        begin_fetch t ~site ~src ~contact ~digest:dg ~ccfg bc))
+
+(* ---- migration -------------------------------------------------------------- *)
 
 let migrate t ~src ~dst ~contact ~transport bc =
   t.stat_migrations <- t.stat_migrations + 1;
   Obs.Metrics.incr (metrics t)
     ~labels:[ ("transport", transport_name transport) ]
     "kernel.migrations";
-  let wire = Briefcase.serialize bc in
+  let wire = serialize_for_wire t ~src bc in
   let base = String.length wire + t.cfg.migration_overhead in
   (let tr = recorder t in
    if Obs.Tracer.enabled tr then
@@ -426,15 +575,15 @@ let migrate t ~src ~dst ~contact ~transport bc =
   | Rsh ->
     (* a fresh interpreter is spawned remotely before the agent can move *)
     ignore
-      (Net.schedule t.net ~after:t.cfg.rsh_spawn_delay (fun () ->
+      (Net.schedule t.net ~after:t.cfg.rsh.spawn_delay (fun () ->
            if Net.site_up t.net src then
              transmit t ~src ~dst
-               ~size:(base + t.cfg.rsh_extra_bytes)
+               ~size:(base + t.cfg.rsh.extra_bytes)
                (Migration { mid = 0; contact; bc_wire = wire; needs_ack = false })))
   | Tcp ->
     let fresh = not (Hashtbl.mem t.connections (src, dst)) in
     if fresh then Hashtbl.replace t.connections (src, dst) ();
-    let size = base + t.cfg.tcp_extra_bytes + (if fresh then t.cfg.tcp_handshake_bytes else 0) in
+    let size = base + t.cfg.tcp.extra_bytes + (if fresh then t.cfg.tcp.handshake_bytes else 0) in
     transmit t ~src ~dst ~size (Migration { mid = 0; contact; bc_wire = wire; needs_ack = false })
   | Horus ->
     let mid = t.mid_counter in
@@ -445,7 +594,7 @@ let migrate t ~src ~dst ~contact ~transport bc =
         attempts = 0;
         ack_src = src;
         ack_dst = dst;
-        ack_size = base + t.cfg.horus_extra_bytes;
+        ack_size = base + t.cfg.horus.extra_bytes;
         ack_payload = payload;
         ack_timer = None;
       }
@@ -464,13 +613,13 @@ let handle_message t site seen (msg : Netsim.Message.t) =
     let duplicate = needs_ack && Hashtbl.mem seen mid in
     if needs_ack then begin
       (* ack even duplicates: the first ack may have been lost *)
-      transmit t ~src:site ~dst:msg.src ~size:t.cfg.horus_ack_bytes (Migration_ack { mid });
+      transmit t ~src:site ~dst:msg.src ~size:t.cfg.horus.ack_bytes (Migration_ack { mid });
       if Hashtbl.length seen > seen_mid_window then Hashtbl.reset seen;
       Hashtbl.replace seen mid ()
     end;
     if not duplicate then begin
       match Briefcase.deserialize bc_wire with
-      | bc -> run_activation t ~site ~contact bc
+      | bc -> accept_briefcase t ~site ~src:msg.src ~contact bc
       | exception Codec.Malformed reason ->
         run_hooks_death t ~cls:"corrupt-briefcase" ~site ~agent:contact
           ~reason:("corrupt briefcase: " ^ reason)
@@ -481,12 +630,49 @@ let handle_message t site seen (msg : Netsim.Message.t) =
       (match st.ack_timer with Some timer -> Engine.cancel timer | None -> ());
       Hashtbl.remove t.pending_acks mid
     | None -> ())
+  | Code_fetch { fid; digest } ->
+    (* serve from this site's cache; a negative reply still costs framing *)
+    let ccfg =
+      match t.cfg.cache with Some c -> c | None -> default_cache_config
+    in
+    let code =
+      if cache_enabled t then Codecache.find_opt t.caches.(site) ~digest else None
+    in
+    let size =
+      ccfg.reply_overhead_bytes
+      + (match code with Some elems -> Codecache.wire_bytes elems | None -> 0)
+    in
+    (match code with
+    | Some _ -> Obs.Metrics.incr (metrics t) "codecache.fetch_serves"
+    | None -> ());
+    add_cache_saved t (-size);
+    transmit t ~src:site ~dst:msg.src ~size (Code_fetch_reply { fid; code })
+  | Code_fetch_reply { fid; code } -> (
+    match Hashtbl.find_opt t.pending_fetches fid with
+    | None -> () (* already timed out, or the site crashed meanwhile *)
+    | Some pf ->
+      Hashtbl.remove t.pending_fetches fid;
+      (match pf.pf_timer with Some timer -> Engine.cancel timer | None -> ());
+      if t.places.(pf.pf_site).epoch = pf.pf_epoch && Net.site_up t.net pf.pf_site then begin
+        match code with
+        | Some elems ->
+          if cache_enabled t then
+            ignore (Codecache.insert t.caches.(pf.pf_site) ~digest:pf.pf_digest elems);
+          Folder.replace (Briefcase.folder pf.pf_bc Briefcase.code_folder) elems;
+          end_fetch_span t pf ();
+          run_activation t ~site:pf.pf_site ~contact:pf.pf_contact pf.pf_bc
+        | None ->
+          Obs.Metrics.incr (metrics t) "codecache.fetch_failures";
+          end_fetch_span t pf ~error:"not-found" ();
+          run_hooks_death t ~cls:"code-fetch" ~site:pf.pf_site ~agent:pf.pf_contact
+            ~reason:"code fetch failed: source no longer holds the entry"
+      end)
   | _ -> ()
 
 (* ---- system agents (paper §2 and §6) ------------------------------------------ *)
 
 let get_folder_exn bc name what =
-  match Briefcase.get bc name with
+  match Briefcase.find_opt bc name with
   | Some v -> v
   | None -> raise (Agent_error (Printf.sprintf "%s: missing %s folder" what name))
 
@@ -500,7 +686,7 @@ let rexec_agent ctx bc =
     | None -> raise (Agent_error (Printf.sprintf "rexec: unknown host %S" host))
   in
   let transport =
-    match Briefcase.get bc "TRANSPORT" with
+    match Briefcase.find_opt bc "TRANSPORT" with
     | None -> t.cfg.default_transport
     | Some s -> (
       match transport_of_string s with
@@ -549,7 +735,7 @@ let diffusion_agent ctx bc =
      terminate instead of re-executing when clones arrive over two paths of
      a cyclic graph.  The tag defaults to the contact name so independent
      diffusions do not block each other. *)
-  let tag = Option.value ~default:contact (Briefcase.get bc "DIFFUSION-ID") in
+  let tag = Option.value ~default:contact (Briefcase.find_opt bc "DIFFUSION-ID") in
   let cab = cabinet t ctx.site in
   if not (Cabinet.contains cab "DIFFUSED" tag) then begin
     Cabinet.put cab "DIFFUSED" tag;
@@ -565,7 +751,7 @@ let diffusion_agent ctx bc =
     (* pre-mark all targets so sibling clones do not re-flood each other *)
     List.iter (fun s -> Folder.enqueue visited s) targets;
     let transport =
-      match Option.bind (Briefcase.get bc "TRANSPORT") transport_of_string with
+      match Option.bind (Briefcase.find_opt bc "TRANSPORT") transport_of_string with
       | Some tr -> tr
       | None -> t.cfg.default_transport
     in
@@ -610,11 +796,24 @@ let arm_site t site =
 let create ?(config = default_config) net =
   let topo = Net.topology net in
   let n = Netsim.Topology.site_count topo in
+  let caches =
+    match config.cache with
+    | None -> [||]
+    | Some c ->
+      let on_evict ~digest:_ ~bytes:_ =
+        Obs.Metrics.incr (Net.metrics net) "codecache.evictions"
+      in
+      Array.init n (fun _ -> Codecache.create ~on_evict c)
+  in
   let t =
     {
       net;
       cfg = config;
       places = Array.init n (fun _ -> { epoch = 0; cab = Cabinet.create () });
+      caches;
+      pending_fetches = Hashtbl.create 32;
+      fetch_counter = 1;
+      cache_saved_bytes = 0;
       global_natives = Hashtbl.create 32;
       site_natives = Hashtbl.create 32;
       global_scripts = Hashtbl.create 32;
@@ -647,7 +846,16 @@ let create ?(config = default_config) net =
           (* volatile kernel state tied to this site dies with it *)
           Hashtbl.iter
             (fun (a, b) () -> if a = site || b = site then Hashtbl.remove t.connections (a, b))
-            (Hashtbl.copy t.connections));
+            (Hashtbl.copy t.connections);
+          if cache_enabled t then Codecache.clear t.caches.(site);
+          Hashtbl.iter
+            (fun fid pf ->
+              if pf.pf_site = site then begin
+                Hashtbl.remove t.pending_fetches fid;
+                (match pf.pf_timer with Some timer -> Engine.cancel timer | None -> ());
+                end_fetch_span t pf ~error:"site-crash" ()
+              end)
+            (Hashtbl.copy t.pending_fetches));
       Net.on_restart net site (fun () ->
           let place = t.places.(site) in
           place.epoch <- place.epoch + 1;
@@ -656,12 +864,13 @@ let create ?(config = default_config) net =
           arm_site t site;
           match t.group with Some g -> Horus.Group.rejoin g site | None -> ()))
     (Netsim.Topology.sites topo);
-  if config.horus_group then
+  if config.horus.group then
     t.group <- Some (Horus.Group.create net ~name:"tacoma" ~members:(Netsim.Topology.sites topo));
   t
 
 (* ---- stats ------------------------------------------------------------------------ *)
 
+let cache_saved_bytes t = t.cache_saved_bytes
 let migrations t = t.stat_migrations
 let activations t = t.stat_activations
 let deaths t = t.stat_deaths

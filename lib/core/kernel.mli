@@ -26,6 +26,43 @@ type transport = Rsh | Tcp | Horus
 val transport_of_string : string -> transport option
 val transport_name : transport -> string
 
+(** {1 Configuration}
+
+    Per-transport knobs live in their own sub-records, so a caller tweaks
+    one transport with a nested functional update and [default_config]
+    supplies everything else:
+    {[
+      { Kernel.default_config with
+        horus = { Kernel.default_config.horus with max_attempts = 8 } }
+    ]} *)
+
+type rsh_config = {
+  spawn_delay : float; (** remote interpreter spawn cost, seconds *)
+  extra_bytes : int;   (** per-hop overhead beyond the briefcase *)
+}
+
+type tcp_config = {
+  handshake_bytes : int; (** first use of a (src,dst) connection *)
+  extra_bytes : int;
+}
+
+type horus_config = {
+  extra_bytes : int;
+  ack_bytes : int;
+  rto : float;        (** retransmission timeout, seconds *)
+  max_attempts : int;
+  group : bool;       (** maintain the kernel-wide Horus group *)
+}
+
+type cache_config = Codecache.config = {
+  budget_bytes : int;
+  request_bytes : int;
+  reply_overhead_bytes : int;
+  fetch_timeout : float;
+}
+(** Re-exported so callers configure the cache without importing
+    {!Codecache}. *)
+
 type config = {
   default_transport : transport;
   step_limit : int option;     (** per-activation interpreter budget *)
@@ -33,16 +70,24 @@ type config = {
                                    agent (default {!Prelude.standard};
                                    [""] disables) *)
   migration_overhead : int;    (** framing bytes added to every migration *)
-  rsh_spawn_delay : float;     (** remote interpreter spawn cost, seconds *)
-  rsh_extra_bytes : int;
-  tcp_handshake_bytes : int;   (** first use of a (src,dst) connection *)
-  tcp_extra_bytes : int;
-  horus_extra_bytes : int;
-  horus_ack_bytes : int;
-  horus_rto : float;           (** retransmission timeout, seconds *)
-  horus_max_attempts : int;
-  horus_group : bool;          (** maintain the kernel-wide Horus group *)
+  rsh : rsh_config;
+  tcp : tcp_config;
+  horus : horus_config;
+  cache : cache_config option;
+      (** [Some _] enables the per-site content-addressed code cache: the
+          CODE folder ships as a digest, resolved from the receiving
+          place's cache or fetched back from the sender on a miss
+          ({!Codecache}).  [None] (the default) ships code in full on
+          every hop, byte-identical to kernels predating the cache. *)
 }
+
+val default_rsh_config : rsh_config
+val default_tcp_config : tcp_config
+val default_horus_config : horus_config
+
+val default_cache_config : cache_config
+(** = {!Codecache.default_config}; [default_config.cache] is still [None] —
+    opting in is explicit. *)
 
 val default_config : config
 
@@ -157,6 +202,17 @@ val send_briefcase :
 (** One-way: deliver the briefcase to [contact] at [dst] over the plain
     network (no spawn cost, no handshake, no ack). *)
 
+(** {1 Code cache} *)
+
+val code_cache : t -> Netsim.Site.id -> Codecache.t option
+(** The site's cache when [config.cache] is set.  Volatile: cleared by the
+    kernel's crash hook, so a restarted place re-fetches. *)
+
+val cache_saved_bytes : t -> int
+(** Net wire bytes avoided by digest substitution so far: bytes stripped
+    from migrations minus the full cost of every fallback fetch exchange.
+    Mirrored in the ["codecache.bytes_saved"] gauge. *)
+
 (** {1 Introspection} *)
 
 val migrations : t -> int
@@ -177,4 +233,4 @@ val on_death : t -> (site:Netsim.Site.id -> agent:string -> reason:string -> uni
 val on_complete : t -> (site:Netsim.Site.id -> agent:string -> unit) -> unit
 
 val horus_group : t -> Horus.Group.t option
-(** The kernel-wide group when [config.horus_group] is set. *)
+(** The kernel-wide group when [config.horus.group] is set. *)

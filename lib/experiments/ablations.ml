@@ -113,7 +113,10 @@ let run_a3 () =
     (fun group_on ->
       (* idle background cost *)
       let net = Net.create (Topology.full_mesh 8) in
-      let config = { Kernel.default_config with horus_group = group_on } in
+      let config =
+        { Kernel.default_config with
+          horus = { Kernel.default_config.horus with group = group_on } }
+      in
       let _k = Kernel.create ~config net in
       Net.run ~until:60.0 net;
       let idle_bytes_per_s =

@@ -59,7 +59,7 @@ let run_policy p policy =
   let responses = ref [] in
   let last_completion = ref 0.0 in
   Kernel.register_native k ~site:hub "job-back" (fun ctx bc ->
-      match Briefcase.get bc "JOB" with
+      match Briefcase.find_opt bc "JOB" with
       | Some job -> (
         match Hashtbl.find_opt submit_times job with
         | Some t0 ->

@@ -15,7 +15,7 @@ let install_hopper k ~on_done =
   Kernel.register_native k "e7-hop" (fun ctx bc ->
       let t = ctx.Kernel.kernel in
       let left =
-        Option.value ~default:0 (Option.bind (Briefcase.get bc "HOPS-LEFT") int_of_string_opt)
+        Option.value ~default:0 (Option.bind (Briefcase.find_opt bc "HOPS-LEFT") int_of_string_opt)
       in
       if left = 0 then on_done (Kernel.now t)
       else begin
@@ -23,7 +23,7 @@ let install_hopper k ~on_done =
         let next = ctx.Kernel.site + 1 in
         Kernel.migrate t ~src:ctx.Kernel.site ~dst:next ~contact:"e7-hop"
           ~transport:
-            (Option.get (Kernel.transport_of_string (Option.get (Briefcase.get bc "TRANSPORT"))))
+            (Option.get (Kernel.transport_of_string (Option.get (Briefcase.find_opt bc "TRANSPORT"))))
           bc
       end)
 
@@ -55,7 +55,10 @@ let run_cost ?(hops = 4) ?(payloads = [ 256; 4096; 65536 ]) () =
 
 let run_reliability_one ~trial transport =
   let net = Net.create (Topology.line 2) in
-  let config = { Kernel.default_config with horus_max_attempts = 10 } in
+  let config =
+    { Kernel.default_config with
+      horus = { Kernel.default_config.horus with max_attempts = 10 } }
+  in
   let k = Kernel.create ~config net in
   let delivered = ref false in
   install_hopper k ~on_done:(fun _ -> delivered := true);
@@ -96,8 +99,7 @@ let run_loss ?(agents = 50) ?(loss_rates = [ 0.0; 0.1; 0.3 ]) () =
       {
         Kernel.default_config with
         default_transport = transport;
-        horus_max_attempts = 15;
-        horus_rto = 0.2;
+        horus = { Kernel.default_config.horus with max_attempts = 15; rto = 0.2 };
       }
     in
     let k = Kernel.create ~config net in

@@ -1,0 +1,18 @@
+(** E9: content-addressed code cache vs cold code shipping, per transport
+    and itinerary shape (ring of first visits, hub-and-spoke, revisiting
+    laps). *)
+
+type row = {
+  shape : string;
+  transport : string;
+  cached : bool;
+  hops : int;
+  bytes_per_hop : float;
+  s_per_hop : float;
+  hits : int;
+  misses : int;
+  saved_bytes : int;
+}
+
+val run : unit -> row list
+val print_table : Format.formatter -> unit

@@ -56,6 +56,13 @@ let all =
       print = E8_apps.print_table;
     };
     {
+      id = "e9";
+      title = "content-addressed code cache vs cold code shipping";
+      paper_claim =
+        "S6: restart-style rexec re-ships code every hop; caching code at sites cuts the per-hop byte cost on revisiting itineraries";
+      print = E9_codecache.print_table;
+    };
+    {
       id = "abl";
       title = "ablations: report staleness, guard tuning, horus group, code size";
       paper_claim = "design-choice probes behind E1/E5/E6/E7";

@@ -59,7 +59,7 @@ let ckpt_folder = "ESCORT-CKPT"
 let ckpt_key j hop = Printf.sprintf "%s:%d" j.id hop
 
 let hop_of bc =
-  match Option.bind (Briefcase.get bc "ESCORT-HOP") int_of_string_opt with
+  match Option.bind (Briefcase.find_opt bc "ESCORT-HOP") int_of_string_opt with
   | Some h -> h
   | None -> raise (Kernel.Agent_error "escort: missing ESCORT-HOP")
 
@@ -139,7 +139,7 @@ let arrive j ctx bc =
       Briefcase.set gbc "ESCORT-HOP" (string_of_int (hop + 1));
       (* present only while tracing: the guard activation then joins the
          journey's trace instead of starting an unrelated root *)
-      (match Briefcase.get bc Briefcase.trace_folder with
+      (match Briefcase.find_opt bc Briefcase.trace_folder with
       | Some span -> Briefcase.set gbc Briefcase.trace_folder span
       | None -> ());
       Folder_stash.put gbc snapshot;

@@ -9,6 +9,6 @@ let folder_name = "SNAPSHOT"
 let put bc snapshot = Briefcase.set bc folder_name (Briefcase.serialize snapshot)
 
 let take bc =
-  match Briefcase.get bc folder_name with
+  match Briefcase.find_opt bc folder_name with
   | Some wire -> Briefcase.deserialize wire
   | None -> raise (Tacoma_core.Kernel.Agent_error "escort guard: missing SNAPSHOT")

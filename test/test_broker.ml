@@ -94,9 +94,9 @@ let test_lookup_via_meet () =
   Briefcase.set bc "SERVICE" "compute";
   Kernel.launch k ~site:0 ~contact:"broker" bc;
   Net.run net;
-  check Alcotest.(option string) "status" (Some "ok") (Briefcase.get bc "STATUS");
-  check Alcotest.(option string) "provider" (Some "p1") (Briefcase.get bc "PROVIDER");
-  check Alcotest.(option string) "host" (Some "mesh-1") (Briefcase.get bc "PROVIDER-HOST")
+  check Alcotest.(option string) "status" (Some "ok") (Briefcase.find_opt bc "STATUS");
+  check Alcotest.(option string) "provider" (Some "p1") (Briefcase.find_opt bc "PROVIDER");
+  check Alcotest.(option string) "host" (Some "mesh-1") (Briefcase.find_opt bc "PROVIDER-HOST")
 
 let test_lookup_no_provider () =
   let net, k = mk_world () in
@@ -106,7 +106,7 @@ let test_lookup_no_provider () =
   Briefcase.set bc "SERVICE" "nothing";
   Kernel.launch k ~site:0 ~contact:"broker" bc;
   Net.run net;
-  check Alcotest.(option string) "status" (Some "no-provider") (Briefcase.get bc "STATUS")
+  check Alcotest.(option string) "status" (Some "no-provider") (Briefcase.find_opt bc "STATUS")
 
 let test_lookup_policy_override_via_folder () =
   let net, k = mk_world () in
@@ -132,9 +132,9 @@ let test_lookup_policy_override_via_folder () =
   Briefcase.set q "POLICY" "round-robin";
   Kernel.launch k ~site:0 ~contact:"broker" q;
   Net.run ~until:2.0 net;
-  check Alcotest.(option string) "override honoured" (Some "ok") (Briefcase.get q "STATUS");
+  check Alcotest.(option string) "override honoured" (Some "ok") (Briefcase.find_opt q "STATUS");
   check Alcotest.(option string) "rr picks first alphabetically" (Some "p-heavy")
-    (Briefcase.get q "PROVIDER")
+    (Briefcase.find_opt q "PROVIDER")
 
 let test_load_monitor_updates_broker () =
   let net, k = mk_world () in
@@ -172,7 +172,7 @@ let test_provider_serves_fifo_and_notifies () =
   let done_jobs = ref [] in
   Kernel.register_native k ~site:0 "job-done" (fun ctx bc ->
       done_jobs :=
-        (Option.get (Briefcase.get bc "JOB"), Kernel.now ctx.Kernel.kernel) :: !done_jobs);
+        (Option.get (Briefcase.find_opt bc "JOB"), Kernel.now ctx.Kernel.kernel) :: !done_jobs);
   let submit name work =
     let bc = Briefcase.create () in
     Briefcase.set bc "JOB" name;
@@ -232,7 +232,7 @@ let test_provider_enforces_tickets () =
   Briefcase.set bc2 "JOB" "j1";
   Kernel.launch k ~site:0 ~contact:"ticket" bc2;
   Net.run ~until:2.0 net;
-  let tkt = Option.get (Briefcase.get bc2 "TICKET") in
+  let tkt = Option.get (Briefcase.find_opt bc2 "TICKET") in
   let bc3 = Briefcase.create () in
   Briefcase.set bc3 "WORK" "1.0";
   Briefcase.set bc3 "TICKET" tkt;
@@ -247,7 +247,7 @@ let test_provider_enforces_tickets () =
   Net.run ~until:11.0 net;
   let bc5 = Briefcase.create () in
   Briefcase.set bc5 "WORK" "1.0";
-  Briefcase.set bc5 "TICKET" (Option.get (Briefcase.get bc4 "TICKET"));
+  Briefcase.set bc5 "TICKET" (Option.get (Briefcase.find_opt bc4 "TICKET"));
   Kernel.launch k ~site:1 ~contact:"p1" bc5;
   Net.run ~until:20.0 net;
   check Alcotest.int "wrong-service ticket rejected" 2 (Provider.rejected p)
@@ -354,7 +354,7 @@ let test_protected_agent_brokering () =
   let net, k = mk_world () in
   let meetings = ref [] in
   Kernel.register_native k ~site:0 "secret-oracle" (fun _ bc ->
-      meetings := Option.value ~default:"?" (Briefcase.get bc "REQUESTER") :: !meetings);
+      meetings := Option.value ~default:"?" (Briefcase.find_opt bc "REQUESTER") :: !meetings);
   let pr =
     Protect.install k ~site:0 ~public_name:"oracle-broker" ~secret_name:"secret-oracle"
       ~policy:{ Protect.allowed = Some [ "alice"; "carol" ]; min_interval = 0.5 }

@@ -188,7 +188,7 @@ let test_validator_meet_protocol () =
   Folder.replace (Briefcase.folder bc "ECUS") [ Ecu.wire bill ];
   Kernel.launch k ~site:2 ~contact:"validator" bc;
   Net.run net;
-  check Alcotest.(option string) "ok" (Some "ok") (Briefcase.get bc "STATUS");
+  check Alcotest.(option string) "ok" (Some "ok") (Briefcase.find_opt bc "STATUS");
   match Folder.peek (Briefcase.folder bc "ECUS") with
   | Some w ->
     let fresh = Ecu.of_wire_exn w in
@@ -414,7 +414,7 @@ let test_court_agent_meet () =
   Kernel.launch k ~site:2 ~contact:"court" bc;
   Net.run net;
   check Alcotest.(option string) "verdict folder" (Some "merchant-cheated")
-    (Briefcase.get bc "VERDICT")
+    (Briefcase.find_opt bc "VERDICT")
 
 let () =
   Alcotest.run "cash"

@@ -62,8 +62,8 @@ let test_folder_misc () =
   let f = Folder.of_list [ "a"; "b"; "c" ] in
   Alcotest.(check bool) "contains" true (Folder.contains f "b");
   Alcotest.(check bool) "not contains" false (Folder.contains f "z");
-  check Alcotest.(option string) "nth" (Some "c") (Folder.nth f 2);
-  check Alcotest.(option string) "nth out of range" None (Folder.nth f 5);
+  check Alcotest.(option string) "nth" (Some "c") (Folder.nth_opt f 2);
+  check Alcotest.(option string) "nth out of range" None (Folder.nth_opt f 5);
   Folder.replace f [ "q" ];
   check Alcotest.(list string) "replace" [ "q" ] (Folder.to_list f);
   Folder.clear f;
@@ -161,14 +161,14 @@ let test_bc_byte_size_exact =
 let test_bc_basics () =
   let bc = Briefcase.create () in
   Briefcase.set bc "HOST" "site-1";
-  check Alcotest.(option string) "get" (Some "site-1") (Briefcase.get bc "HOST");
+  check Alcotest.(option string) "get" (Some "site-1") (Briefcase.find_opt bc "HOST");
   Briefcase.set bc "HOST" "site-2";
-  check Alcotest.(option string) "set replaces" (Some "site-2") (Briefcase.get bc "HOST");
+  check Alcotest.(option string) "set replaces" (Some "site-2") (Briefcase.find_opt bc "HOST");
   check Alcotest.int "single element" 1 (Folder.length (Briefcase.folder bc "HOST"));
   Alcotest.(check bool) "mem" true (Briefcase.mem bc "HOST");
   Briefcase.remove bc "HOST";
   Alcotest.(check bool) "removed" false (Briefcase.mem bc "HOST");
-  check Alcotest.(option string) "get missing" None (Briefcase.get bc "HOST")
+  check Alcotest.(option string) "get missing" None (Briefcase.find_opt bc "HOST")
 
 let test_bc_copy_deep () =
   let bc = Briefcase.create () in
@@ -203,7 +203,7 @@ let test_bc_agent_in_folder () =
   let parked = Option.get (Folder.peek (Briefcase.folder back "PARKED")) in
   let inner' = Briefcase.deserialize parked in
   check Alcotest.(option string) "agent recovered" (Some "log hello")
-    (Briefcase.get inner' Briefcase.code_folder)
+    (Briefcase.find_opt inner' Briefcase.code_folder)
 
 (* --- cabinet --- *)
 
@@ -233,9 +233,9 @@ let test_cabinet_kv () =
   Cabinet.set_kv c "CONF" ~key:"load" "0.5";
   Cabinet.set_kv c "CONF" ~key:"cap" "4";
   Cabinet.set_kv c "CONF" ~key:"load" "0.9";
-  check Alcotest.(option string) "kv get" (Some "0.9") (Cabinet.get_kv c "CONF" ~key:"load");
+  check Alcotest.(option string) "kv get" (Some "0.9") (Cabinet.find_kv_opt c "CONF" ~key:"load");
   check Alcotest.int "no duplicate keys" 2 (List.length (Cabinet.kv_bindings c "CONF"));
-  check Alcotest.(option string) "missing key" None (Cabinet.get_kv c "CONF" ~key:"zzz")
+  check Alcotest.(option string) "missing key" None (Cabinet.find_kv_opt c "CONF" ~key:"zzz")
 
 let test_cabinet_flush_recover () =
   let c = Cabinet.create () in
@@ -274,14 +274,14 @@ let test_meet_native () =
   let net, k = mk_kernel () in
   let seen = ref None in
   Kernel.register_native k "greeter" (fun _ bc ->
-      seen := Briefcase.get bc "NAME";
+      seen := Briefcase.find_opt bc "NAME";
       Briefcase.set bc "REPLY" "hello");
   let bc = Briefcase.create () in
   Briefcase.set bc "NAME" "world";
   Kernel.launch k ~site:0 ~contact:"greeter" bc;
   Net.run net;
   check Alcotest.(option string) "argument seen" (Some "world") !seen;
-  check Alcotest.(option string) "reply written" (Some "hello") (Briefcase.get bc "REPLY")
+  check Alcotest.(option string) "reply written" (Some "hello") (Briefcase.find_opt bc "REPLY")
 
 let test_meet_unknown_agent_dies () =
   let net, k = mk_kernel () in
@@ -299,7 +299,7 @@ let test_meet_script_agent () =
   Briefcase.set bc "X" "9";
   Kernel.launch k ~site:1 ~contact:"sq" bc;
   Net.run net;
-  check Alcotest.(option string) "script computed" (Some "81.0") (Briefcase.get bc "RESULT")
+  check Alcotest.(option string) "script computed" (Some "81.0") (Briefcase.find_opt bc "RESULT")
 
 let test_site_scoped_agent () =
   let net, k = mk_kernel () in
@@ -316,11 +316,11 @@ let test_nested_meet () =
       Briefcase.set bc "TRAIL" "outer";
       Kernel.meet ctx "inner" bc);
   Kernel.register_native k "inner" (fun _ bc ->
-      Briefcase.set bc "TRAIL" (Option.get (Briefcase.get bc "TRAIL") ^ "+inner"));
+      Briefcase.set bc "TRAIL" (Option.get (Briefcase.find_opt bc "TRAIL") ^ "+inner"));
   let bc = Briefcase.create () in
   Kernel.launch k ~site:0 ~contact:"outer" bc;
   Net.run net;
-  check Alcotest.(option string) "nesting" (Some "outer+inner") (Briefcase.get bc "TRAIL")
+  check Alcotest.(option string) "nesting" (Some "outer+inner") (Briefcase.find_opt bc "TRAIL")
 
 let test_script_error_catchable_by_caller () =
   let net, k = mk_kernel () in
@@ -331,7 +331,7 @@ let test_script_error_catchable_by_caller () =
   Net.run net;
   check Alcotest.int "no death" 0 (Kernel.deaths k);
   Alcotest.(check bool) "error message seen" true
-    (match Briefcase.get bc "SAW" with Some s -> String.length s > 0 | None -> false)
+    (match Briefcase.find_opt bc "SAW" with Some s -> String.length s > 0 | None -> false)
 
 (* --- kernel: migration --- *)
 
@@ -403,7 +403,9 @@ let test_horus_retransmits_through_downtime () =
   (* destination is down when the migration is sent; horus retries until the
      site restarts, so the agent eventually arrives *)
   let config =
-    { Kernel.default_config with default_transport = Kernel.Horus; horus_max_attempts = 8 }
+    { Kernel.default_config with
+      default_transport = Kernel.Horus;
+      horus = { Kernel.default_config.horus with max_attempts = 8 } }
   in
   let net, k = mk_kernel ~config ~topo:(Topology.line 2) () in
   Netsim.Fault.crash_for net ~site:1 ~at:0.5 ~downtime:3.0;
@@ -425,8 +427,9 @@ let test_horus_survives_lossy_network () =
     let topo = Topology.line 2 in
     let net = Net.create ~loss_rate:0.3 topo in
     let config =
-      { Kernel.default_config with default_transport = transport; horus_max_attempts = 12;
-        horus_rto = 0.2 }
+      { Kernel.default_config with
+        default_transport = transport;
+        horus = { Kernel.default_config.horus with max_attempts = 12; rto = 0.2 } }
     in
     let k = Kernel.create ~config net in
     let arrived = ref 0 in
@@ -466,7 +469,10 @@ let test_kernel_horus_group_mode () =
   (* horus_group = true: the kernel maintains a group over all sites, the
      group view tracks crashes/restarts, and horus-transport retries to a
      known-dead site are abandoned early *)
-  let config = { Kernel.default_config with horus_group = true } in
+  let config =
+    { Kernel.default_config with
+      horus = { Kernel.default_config.horus with group = true } }
+  in
   let net = Net.create (Topology.full_mesh 4) in
   let k = Kernel.create ~config net in
   (match Kernel.horus_group k with
@@ -489,7 +495,9 @@ let test_kernel_horus_group_mode () =
 
 let test_kernel_group_aborts_retries_to_dead_site () =
   let config =
-    { Kernel.default_config with horus_group = true; horus_max_attempts = 50; horus_rto = 1.0 }
+    { Kernel.default_config with
+      horus =
+        { Kernel.default_config.horus with group = true; max_attempts = 50; rto = 1.0 } }
   in
   let net = Net.create ~trace:true (Topology.full_mesh 4) in
   let k = Kernel.create ~config net in
@@ -670,16 +678,16 @@ let test_prelude_visited_and_notes () =
   let bc2 = Briefcase.create () in
   Kernel.launch k ~site:1 ~contact:"noter" bc2;
   Net.run ~until:10.0 net;
-  check Alcotest.(option string) "first run" (Some "yes") (Briefcase.get bc1 "FIRST");
+  check Alcotest.(option string) "first run" (Some "yes") (Briefcase.find_opt bc1 "FIRST");
   check Alcotest.(option string) "second run sees the mark" (Some "no")
-    (Briefcase.get bc2 "FIRST");
-  check Alcotest.(option string) "note recalled" (Some "blue") (Briefcase.get bc2 "COLOR");
+    (Briefcase.find_opt bc2 "FIRST");
+  check Alcotest.(option string) "note recalled" (Some "blue") (Briefcase.find_opt bc2 "COLOR");
   (* remember flushes: the note survives a crash (the volatile VISITED mark
      does not — that asymmetry is the point of the two primitives) *)
   Netsim.Fault.crash_for net ~site:1 ~at:11.0 ~downtime:1.0;
   Net.run ~until:20.0 net;
   check Alcotest.(option string) "note survives crash" (Some "blue")
-    (Cabinet.get_kv (Kernel.cabinet k 1) "NOTES" ~key:"color");
+    (Cabinet.find_kv_opt (Kernel.cabinet k 1) "NOTES" ~key:"color");
   Alcotest.(check bool) "visited mark is volatile" false
     (Cabinet.contains (Kernel.cabinet k 1) "VISITED" "me")
 
@@ -866,7 +874,7 @@ let test_dispatch_unknown_host_is_script_error () =
   Kernel.launch k ~site:0 ~contact:"careful" bc;
   Net.run ~until:5.0 net;
   check Alcotest.int "uncaught error kills" 1 (Kernel.deaths k);
-  Alcotest.(check bool) "catchable from script" true (Briefcase.get bc "E" <> None)
+  Alcotest.(check bool) "catchable from script" true (Briefcase.find_opt bc "E" <> None)
 
 let test_work_advances_time () =
   let net, k = mk_kernel () in

@@ -10,6 +10,7 @@ module E5 = Experiments.E5_broker
 module E6 = Experiments.E6_guards
 module E7 = Experiments.E7_transports
 module E8 = Experiments.E8_apps
+module E9 = Experiments.E9_codecache
 
 let check = Alcotest.check
 
@@ -203,11 +204,36 @@ let test_e8c_shape () =
     (push.E8.mean_detection_latency *. 100.0 < tour.E8.mean_detection_latency);
   Alcotest.(check bool) "both detected something" true (push.E8.detections > 0)
 
+let test_e9_shape () =
+  let rows = E9.run () in
+  let find shape transport cached =
+    List.find
+      (fun r -> r.E9.shape = shape && r.E9.transport = transport && r.E9.cached = cached)
+      rows
+  in
+  List.iter
+    (fun transport ->
+      let cold = find "revisit-4x3" transport false in
+      let warm = find "revisit-4x3" transport true in
+      Alcotest.(check bool)
+        (transport ^ " warm revisits ship fewer bytes per hop")
+        true
+        (warm.E9.bytes_per_hop < cold.E9.bytes_per_hop);
+      Alcotest.(check bool)
+        (transport ^ " warm laps hit the cache")
+        true (warm.E9.hits > warm.E9.misses);
+      check Alcotest.int (transport ^ " cold runs never touch the cache") 0
+        (cold.E9.hits + cold.E9.misses))
+    [ "rsh"; "tcp"; "horus" ];
+  (* all-first-visit ring: hits stay rare, fetches do the resolving *)
+  let ring_warm = find "ring-8" "tcp" true in
+  Alcotest.(check bool) "first visits miss" true (ring_warm.E9.misses >= ring_warm.E9.hits)
+
 let test_registry_complete () =
-  check Alcotest.int "eight experiments + ablations" 9 (List.length Experiments.Registry.all);
+  check Alcotest.int "nine experiments + ablations" 10 (List.length Experiments.Registry.all);
   List.iteri
     (fun i e ->
-      if i < 8 then
+      if i < 9 then
         check Alcotest.string "ids in order" (Printf.sprintf "e%d" (i + 1))
           e.Experiments.Registry.id)
     Experiments.Registry.all;
@@ -268,6 +294,7 @@ let () =
           Alcotest.test_case "e7c lossy links" `Slow test_e7c_shape;
           Alcotest.test_case "e8 stormcast" `Slow test_e8_shape;
           Alcotest.test_case "e8c detection latency" `Slow test_e8c_shape;
+          Alcotest.test_case "e9 code cache" `Slow test_e9_shape;
         ] );
       ( "ablations",
         [

@@ -263,7 +263,7 @@ let test_single_site_itinerary () =
   Alcotest.(check bool) "completed" true (Escort.stats j).Escort.completed;
   check Alcotest.int "no guards for single stop" 0 (Escort.stats j).Escort.guards_installed;
   match !completed_bc with
-  | Some bc -> check Alcotest.(option string) "work ran" (Some "done") (Briefcase.get bc "X")
+  | Some bc -> check Alcotest.(option string) "work ran" (Some "done") (Briefcase.find_opt bc "X")
   | None -> Alcotest.fail "no completion"
 
 let () =

@@ -259,7 +259,7 @@ let test_jsonl_export_valid () =
 let install_hopper k ~hops =
   Kernel.register_native k "hopper" (fun ctx bc ->
       let h =
-        match Option.bind (Briefcase.get bc "H") int_of_string_opt with
+        match Option.bind (Briefcase.find_opt bc "H") int_of_string_opt with
         | Some h -> h
         | None -> 0
       in
