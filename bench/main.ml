@@ -116,6 +116,40 @@ let bench_stormcast_predict =
   Test.make ~name:"e8 stormcast predict (96 readings)"
     (Staged.stage (fun () -> ignore (Apps.Stormcast.predict readings)))
 
+(* interpreter-hot paths: the per-site CPU cost every agent activation pays.
+   These three shapes dominate loop-heavy agents — condition re-evaluation,
+   proc-call frames, and string/list growth — and are the paths the
+   compiled-expr cache and lazy frames target. *)
+let bench_interp_while_expr =
+  let code =
+    "set i 0; set s 0; while {$i < 1000} {set s [expr {$s + $i}]; incr i}; set s"
+  in
+  Test.make ~name:"interp while+expr loop (1000 iterations)"
+    (Staged.stage (fun () ->
+         let it = Tscript.Interp.create () in
+         ignore (Tscript.Interp.eval it code)))
+
+let bench_interp_proc_fanout =
+  let code =
+    "proc step {x} {expr {$x + 1}}; set s 0; set i 0; \
+     while {$i < 500} {set s [step $s]; incr i}; set s"
+  in
+  Test.make ~name:"interp proc fan-out (500 calls)"
+    (Staged.stage (fun () ->
+         let it = Tscript.Interp.create () in
+         ignore (Tscript.Interp.eval it code)))
+
+let bench_interp_string_growth =
+  let code =
+    "set s {}; set l {}; set i 0; \
+     while {$i < 200} {append s abcdefgh; lappend l $i; incr i}; \
+     list [string length $s] [llength $l]"
+  in
+  Test.make ~name:"interp append/lappend growth (200 rounds)"
+    (Staged.stage (fun () ->
+         let it = Tscript.Interp.create () in
+         ignore (Tscript.Interp.eval it code)))
+
 (* language substrates added beyond the minimum: regex and arrays *)
 let bench_regex_search =
   let re = Tscript.Regex.compile_exn "(\\w+)@(\\w+)" in
@@ -213,6 +247,9 @@ let tests =
       bench_briefcase_serialize;
       bench_briefcase_deserialize;
       bench_interp_eval;
+      bench_interp_while_expr;
+      bench_interp_proc_fanout;
+      bench_interp_string_growth;
       bench_folder_contains;
       bench_cabinet_contains;
       bench_mint_validate;
@@ -231,10 +268,41 @@ let tests =
       bench_cached_journey;
     ]
 
+(* machine-readable results: {"benchmark name": ns_per_run, ...} — consumed
+   by CI (artifact per run) and by BENCH_interp.json's before/after record *)
+let write_json path rows =
+  let oc = open_out path in
+  let escape s =
+    String.concat ""
+      (List.map
+         (fun c ->
+           match c with
+           | '"' -> "\\\""
+           | '\\' -> "\\\\"
+           | c -> String.make 1 c)
+         (List.init (String.length s) (String.get s)))
+  in
+  output_string oc "{\n";
+  List.iteri
+    (fun i (name, est) ->
+      Printf.fprintf oc "  \"%s\": %.1f%s\n" (escape name) est
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  output_string oc "}\n";
+  close_out oc
+
 let () =
   (* --quick: one short sample per benchmark — a CI smoke run proving every
      benchmarked path still executes, not a measurement *)
   let quick = Array.exists (( = ) "--quick") Sys.argv in
+  let json_out =
+    let rec find = function
+      | "--json" :: path :: _ -> Some path
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find (Array.to_list Sys.argv)
+  in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
   in
@@ -250,8 +318,8 @@ let () =
       | Some [ est ] -> rows := (name, est) :: !rows
       | Some _ | None -> ())
     results;
+  let rows = List.sort compare !rows in
   Printf.printf "%-50s | %15s\n" "benchmark" "ns/run";
   Printf.printf "%s\n" (String.make 70 '-');
-  List.iter
-    (fun (name, est) -> Printf.printf "%-50s | %15.1f\n" name est)
-    (List.sort compare !rows)
+  List.iter (fun (name, est) -> Printf.printf "%-50s | %15.1f\n" name est) rows;
+  Option.iter (fun path -> write_json path rows) json_out

@@ -13,22 +13,24 @@ let default_config =
     fetch_timeout = 10.0;
   }
 
-(* Recency is a monotonic stamp per entry; eviction scans for the minimum.
-   The table holds one entry per distinct agent program, so the scan is
-   over a handful of entries — simpler than an intrusive list and just as
-   deterministic. *)
-type entry = { elems : string list; e_bytes : int; mutable stamp : int }
+module Lru = Tacoma_util.Lru
 
-type t = {
-  cfg : config;
-  tbl : (string, entry) Hashtbl.t;
-  on_evict : digest:string -> bytes:int -> unit;
-  mutable used : int;
-  mutable tick : int;
-}
+(* The store is a byte-weighted LRU: the generic discipline lives in
+   Tacoma_util.Lru, this module only fixes the weight (payload bytes) and
+   the digest/wire-size conventions. *)
+type t = { cfg : config; store : (string, string list) Lru.t }
+
+let payload_bytes elems =
+  List.fold_left (fun acc e -> acc + String.length e) 0 elems
 
 let create ?(on_evict = fun ~digest:_ ~bytes:_ -> ()) cfg =
-  { cfg; tbl = Hashtbl.create 16; on_evict; used = 0; tick = 0 }
+  let store =
+    Lru.create
+      ~on_evict:(fun digest elems ->
+        on_evict ~digest ~bytes:(payload_bytes elems))
+      ~weight:payload_bytes ~budget:cfg.budget_bytes ()
+  in
+  { cfg; store }
 
 let wire_bytes elems =
   (* mirrors Codec.encode_strings: 4-byte count, then each length-prefixed
@@ -40,62 +42,14 @@ let digest elems =
   Codec.encode_strings buf elems;
   Tacoma_util.Sha256.hex_digest (Buffer.contents buf)
 
-let touch t e =
-  t.tick <- t.tick + 1;
-  e.stamp <- t.tick
-
-let evict_lru t =
-  let victim =
-    Hashtbl.fold
-      (fun dg e acc ->
-        match acc with
-        | Some (_, best) when best.stamp <= e.stamp -> acc
-        | _ -> Some (dg, e))
-      t.tbl None
-  in
-  match victim with
-  | None -> ()
-  | Some (dg, e) ->
-    Hashtbl.remove t.tbl dg;
-    t.used <- t.used - e.e_bytes;
-    t.on_evict ~digest:dg ~bytes:e.e_bytes
-
 let insert t ~digest elems =
-  match Hashtbl.find_opt t.tbl digest with
-  | Some e ->
-    touch t e;
-    true
-  | None ->
-    let bytes = List.fold_left (fun acc e -> acc + String.length e) 0 elems in
-    if bytes > t.cfg.budget_bytes then false
-    else begin
-      while t.used + bytes > t.cfg.budget_bytes do
-        evict_lru t
-      done;
-      let e = { elems; e_bytes = bytes; stamp = 0 } in
-      touch t e;
-      Hashtbl.replace t.tbl digest e;
-      t.used <- t.used + bytes;
-      true
-    end
+  match Lru.find_opt t.store digest with
+  | Some _ -> true (* find_opt already refreshed recency *)
+  | None -> Lru.add t.store digest elems
 
-let find_opt t ~digest =
-  match Hashtbl.find_opt t.tbl digest with
-  | None -> None
-  | Some e ->
-    touch t e;
-    Some e.elems
-
-let mem t ~digest = Hashtbl.mem t.tbl digest
-
-let clear t =
-  Hashtbl.reset t.tbl;
-  t.used <- 0
-
-let bytes_used t = t.used
-let entry_count t = Hashtbl.length t.tbl
-
-let digests t =
-  Hashtbl.fold (fun dg e acc -> (e.stamp, dg) :: acc) t.tbl []
-  |> List.sort (fun (a, _) (b, _) -> compare b a)
-  |> List.map snd
+let find_opt t ~digest = Lru.find_opt t.store digest
+let mem t ~digest = Lru.mem t.store digest
+let clear t = Lru.clear t.store
+let bytes_used t = Lru.used t.store
+let entry_count t = Lru.length t.store
+let digests t = Lru.keys t.store

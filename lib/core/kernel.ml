@@ -94,6 +94,10 @@ type t = {
   cfg : config;
   places : place array;
   caches : Codecache.t array; (* empty unless cfg.cache = Some _ *)
+  interp_caches : Tscript.Interp.caches;
+      (* compile caches shared by every per-activation interpreter: an
+         agent's script and loop expressions are compiled once per
+         simulation, not once per activation *)
   pending_fetches : (int, pending_fetch) Hashtbl.t;
   mutable fetch_counter : int;
   mutable cache_saved_bytes : int;
@@ -266,7 +270,7 @@ and run_code ctx ~code bc =
       match policy bc with Some budget -> Some budget | None -> t.cfg.step_limit)
     | None -> t.cfg.step_limit
   in
-  let it = Tscript.Interp.create ?step_limit () in
+  let it = Tscript.Interp.create ?step_limit ~caches:t.interp_caches () in
   let host =
     {
       Bindings.site_name = (fun () -> site_name t ctx.site);
@@ -309,7 +313,16 @@ and run_code ctx ~code bc =
     Obs.Metrics.observe m ~labels "interp.wall_s" (Sys.time () -. wall0);
     let p = Tscript.Interp.profile it in
     Obs.Metrics.observe m ~labels "interp.proc_calls" (float_of_int p.Tscript.Interp.proc_calls);
-    Obs.Metrics.observe m ~labels "interp.proc_depth" (float_of_int p.Tscript.Interp.max_depth)
+    Obs.Metrics.observe m ~labels "interp.proc_depth" (float_of_int p.Tscript.Interp.max_depth);
+    (* unlabeled cache-effectiveness counters over the shared compile
+       caches; [expr_misses] doubles as the compiled-expression count *)
+    Obs.Metrics.incr m ~by:p.Tscript.Interp.parse_hits "tscript.parse_cache.hit";
+    Obs.Metrics.incr m ~by:p.Tscript.Interp.parse_misses "tscript.parse_cache.miss";
+    Obs.Metrics.incr m ~by:p.Tscript.Interp.parse_evictions "tscript.parse_cache.evict";
+    Obs.Metrics.incr m ~by:p.Tscript.Interp.expr_hits "tscript.expr_cache.hit";
+    Obs.Metrics.incr m ~by:p.Tscript.Interp.expr_misses "tscript.expr_cache.miss";
+    Obs.Metrics.incr m ~by:p.Tscript.Interp.expr_evictions "tscript.expr_cache.evict";
+    Obs.Metrics.incr m ~by:p.Tscript.Interp.expr_misses "tscript.exprs_compiled"
   in
   match Tscript.Interp.eval it code with
   | Ok _ -> observe_profile ()
@@ -811,6 +824,7 @@ let create ?(config = default_config) net =
       cfg = config;
       places = Array.init n (fun _ -> { epoch = 0; cab = Cabinet.create () });
       caches;
+      interp_caches = Tscript.Interp.create_caches ();
       pending_fetches = Hashtbl.create 32;
       fetch_counter = 1;
       cache_saved_bytes = 0;

@@ -1,11 +1,30 @@
-type fragment =
+(* The AST is parametric over the interpreter's command-function type so
+   each command node can carry a monomorphic inline cache (the interpreter
+   instantiates ['fn] with its own function type; the parser never touches
+   the slot).  See {!command} for the cache discipline. *)
+
+type 'fn fragment =
   | Lit of string
   | Var of string
-  | VarElem of string * fragment list
-  | Cmd of script
-and word = Braced of string | Frags of fragment list
-and command = word list
-and script = command list
+  | VarElem of string * 'fn fragment list
+  | Cmd of 'fn script
+
+and 'fn word = Braced of string | Frags of 'fn fragment list
+
+and 'fn command = {
+  words : 'fn word list;
+  (* Inline command cache: the resolved command function, valid only for
+     the interpreter [c_id] while its command table is at [c_epoch].
+     Cached ASTs are shared between interpreters, so both stamps are
+     checked before the slot is trusted. *)
+  mutable c_id : int;
+  mutable c_epoch : int;
+  mutable c_fn : 'fn option;
+}
+
+and 'fn script = 'fn command list
+
+let command words = { words; c_id = -1; c_epoch = -1; c_fn = None }
 
 let rec pp_fragment fmt = function
   | Lit s -> Format.fprintf fmt "Lit(%S)" s
@@ -26,7 +45,7 @@ and pp_word fmt = function
 and pp_command fmt cmd =
   Format.fprintf fmt "(%a)"
     (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f " ") pp_word)
-    cmd
+    cmd.words
 
 and pp_script fmt script =
   Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f ";@ ") pp_command fmt script

@@ -3,23 +3,41 @@
     A script is a list of commands; a command is a list of words; a word is
     either a brace-quoted literal (no substitution — how Tcl defers
     evaluation of bodies) or a sequence of fragments that are substituted
-    and concatenated at evaluation time. *)
+    and concatenated at evaluation time.
 
-type fragment =
+    The types are parametric over ['fn], the interpreter's command-function
+    type: each command node carries an inline cache of its resolved command
+    function (see {!command}), and parametrising keeps this module free of
+    a dependency on the interpreter.  The parser always leaves the cache
+    empty, so parsed scripts are polymorphic in ['fn]. *)
+
+type 'fn fragment =
   | Lit of string        (** literal text *)
   | Var of string        (** [$name] or [${name}] *)
-  | VarElem of string * fragment list
+  | VarElem of string * 'fn fragment list
       (** [$name(index)] — a Tcl array element; the index is itself a
           fragment sequence, so [$a($i)] works *)
-  | Cmd of script        (** [\[...\]] command substitution *)
+  | Cmd of 'fn script    (** [\[...\]] command substitution *)
 
-and word =
+and 'fn word =
   | Braced of string     (** [{...}]: verbatim, one word *)
-  | Frags of fragment list
+  | Frags of 'fn fragment list
 
-and command = word list
+and 'fn command = {
+  words : 'fn word list;
+  mutable c_id : int;
+      (** interpreter uid the cached function belongs to; [-1] = empty *)
+  mutable c_epoch : int;
+      (** that interpreter's command-table epoch at fill time *)
+  mutable c_fn : 'fn option;
+      (** the resolved command function, trusted only when both stamps
+          match the evaluating interpreter *)
+}
 
-and script = command list
+and 'fn script = 'fn command list
 
-val pp_script : Format.formatter -> script -> unit
+val command : 'fn word list -> 'fn command
+(** Build a command node with an empty cache slot. *)
+
+val pp_script : Format.formatter -> 'fn script -> unit
 (** Debug printer. *)

@@ -164,7 +164,7 @@ let rec next_token lx =
         Top op
       | Some _ | None -> (
         match c with
-        | '+' | '-' | '*' | '/' | '%' | '<' | '>' | '!' | '~' ->
+        | '+' | '-' | '*' | '/' | '%' | '<' | '>' | '!' | '~' | '?' | ':' ->
           lx.pos <- lx.pos + 1;
           Top (String.make 1 c)
         | '(' ->
@@ -214,70 +214,147 @@ let num_to_string = function
   | Float f -> Value.of_float f
   | Str s -> s
 
-(* numeric binop with int preservation *)
-let arith name fi ff a b =
-  match (as_num a, as_num b) with
-  | Int x, Int y -> Int (fi x y)
-  | (Int _ | Float _), (Int _ | Float _) -> Float (ff (as_float a) (as_float b))
-  | _ -> fail ("bad operands for " ^ name)
+(* numeric binop with int preservation; nested matches keep the hot
+   int/int case free of tuple and float boxing *)
+let arith fi ff a b =
+  match as_num a with
+  | Int x -> (
+    match as_num b with
+    | Int y -> Int (fi x y)
+    | Float y -> Float (ff (float_of_int x) y)
+    | Str _ -> assert false)
+  | Float x -> (
+    match as_num b with
+    | Int y -> Float (ff x (float_of_int y))
+    | Float y -> Float (ff x y)
+    | Str _ -> assert false)
+  | Str _ -> assert false
+
+(* string operand → numeric representation if it parses, itself otherwise *)
+let norm v =
+  match v with
+  | Int _ | Float _ -> v
+  | Str s -> (
+    match Value.int_of s with
+    | Some i -> Int i
+    | None -> ( match Value.float_of s with Some f -> Float f | None -> v))
 
 let compare_vals a b =
   (* numeric comparison when both sides parse as numbers, else string *)
-  let num v =
-    match v with
-    | Int _ | Float _ -> Some (as_float v)
-    | Str s -> Value.float_of s
-  in
-  match (num a, num b) with
-  | Some x, Some y -> compare x y
-  | _ ->
-    let str = function Str s -> s | other -> num_to_string other in
-    compare (str a) (str b)
+  match norm a with
+  | Int x -> (
+    match norm b with
+    | Int y -> Int.compare x y
+    | Float y -> Float.compare (float_of_int x) y
+    | Str s -> compare (num_to_string a) s)
+  | Float x -> (
+    match norm b with
+    | Int y -> Float.compare x (float_of_int y)
+    | Float y -> Float.compare x y
+    | Str s -> compare (num_to_string a) s)
+  | Str sa -> (
+    match norm b with
+    | Int _ | Float _ -> compare sa (num_to_string b)
+    | Str sb -> compare sa sb)
 
-(* --- parser ------------------------------------------------------------ *)
+(* --- compiled form ------------------------------------------------------ *)
 
-type ctx = {
-  lx : lexer;
-  lookup : string -> string;
-  eval_cmd : string -> string;
-}
+(* Compilation separates the one-time work (lexing, parsing, constant
+   recognition) from the per-evaluation work (variable/command lookup and
+   arithmetic).  The tree is immutable pure data, so a compiled expression
+   can be cached — per interpreter or shared across the interpreters of a
+   site — and re-evaluated with late-bound lookups, exactly like the
+   source string but without the lexer in the loop. *)
+(* operators are resolved to opcodes at compile time: evaluation dispatches
+   on an immediate tag instead of re-matching the operator string *)
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Pow
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | EqNum
+  | NeNum
+  | StrEq
+  | StrNe
+  | InList
+  | NiList
+
+let binop_of_string = function
+  | "+" -> Add
+  | "-" -> Sub
+  | "*" -> Mul
+  | "/" -> Div
+  | "%" -> Mod
+  | "**" -> Pow
+  | "<" -> Lt
+  | "<=" -> Le
+  | ">" -> Gt
+  | ">=" -> Ge
+  | "==" -> EqNum
+  | "!=" -> NeNum
+  | "eq" -> StrEq
+  | "ne" -> StrNe
+  | "in" -> InList
+  | "ni" -> NiList
+  | op -> fail (Printf.sprintf "unknown operator %s" op)
+
+type ast =
+  | Const of num
+  | Var of string (* "$name" or "name(raw index)"; resolved via lookup *)
+  | Cmd of string (* "[script]"; resolved via eval_cmd *)
+  | Not of ast
+  | Neg of ast
+  | Pos of ast
+  | BitNot of ast
+  | Bin of binop * ast * ast (* strict arithmetic/comparison operator *)
+  | And of ast * ast (* lazy: rhs untouched when lhs is false *)
+  | Or of ast * ast (* lazy: rhs untouched when lhs is true *)
+  | Ternary of ast * ast * ast (* lazy: only the chosen arm evaluates *)
+  | Call of string * ast list
+
+(* --- parser (source -> ast) -------------------------------------------- *)
+
+type pctx = { lx : lexer }
 
 let rec parse_primary ctx =
   match ctx.lx.tok with
   | Tnum v ->
     advance ctx.lx;
-    v
+    Const v
   | Tstr s ->
     advance ctx.lx;
-    Str s
+    Const (Str s)
   | Tvar name ->
     advance ctx.lx;
-    Str (ctx.lookup name)
+    Var name
   | Tcmd script ->
     advance ctx.lx;
-    Str (ctx.eval_cmd script)
+    Cmd script
   | Tlparen ->
     advance ctx.lx;
-    let v = parse_or ctx in
+    let v = parse_ternary ctx in
     (match ctx.lx.tok with
     | Trparen -> advance ctx.lx
     | _ -> fail "expected )");
     v
   | Top "-" ->
     advance ctx.lx;
-    (match as_num (parse_unary ctx) with
-    | Int i -> Int (-i)
-    | Float f -> Float (-.f)
-    | Str _ -> assert false)
+    Neg (parse_unary ctx)
   | Top "+" ->
     advance ctx.lx;
-    as_num (parse_unary ctx)
+    Pos (parse_unary ctx)
   | Top "!" ->
     advance ctx.lx;
-    Int (if truthy_num (parse_unary ctx) then 0 else 1)
+    Not (parse_unary ctx)
   | Top "~" ->
     advance ctx.lx;
-    Int (lnot (as_int (parse_unary ctx)))
+    BitNot (parse_unary ctx)
   | Tident name ->
     advance ctx.lx;
     parse_call ctx name
@@ -289,38 +366,211 @@ let rec parse_primary ctx =
 and parse_unary ctx = parse_primary ctx
 
 and parse_call ctx name =
-  let args =
-    match ctx.lx.tok with
-    | Tlparen ->
-      advance ctx.lx;
-      if ctx.lx.tok = Trparen then begin
+  match name with
+  (* bare boolean words, with or without call syntax *)
+  | "true" | "yes" | "on" ->
+    skip_bool_args ctx;
+    Const (Int 1)
+  | "false" | "no" | "off" ->
+    skip_bool_args ctx;
+    Const (Int 0)
+  | _ ->
+    let args =
+      match ctx.lx.tok with
+      | Tlparen ->
         advance ctx.lx;
-        []
-      end
-      else begin
-        let rec go acc =
-          let v = parse_or ctx in
-          match ctx.lx.tok with
-          | Tcomma ->
-            advance ctx.lx;
-            go (v :: acc)
-          | Trparen ->
-            advance ctx.lx;
-            List.rev (v :: acc)
-          | _ -> fail "expected , or ) in function call"
-        in
-        go []
-      end
-    | _ -> (
-      (* bare words: treat true/false specially, otherwise a string *)
-      match name with
-      | "true" | "yes" | "on" -> [ Int 1 ]
-      | "false" | "no" | "off" -> [ Int 0 ]
-      | _ -> [])
+        if ctx.lx.tok = Trparen then begin
+          advance ctx.lx;
+          []
+        end
+        else begin
+          let rec go acc =
+            let v = parse_ternary ctx in
+            match ctx.lx.tok with
+            | Tcomma ->
+              advance ctx.lx;
+              go (v :: acc)
+            | Trparen ->
+              advance ctx.lx;
+              List.rev (v :: acc)
+            | _ -> fail "expected , or ) in function call"
+          in
+          go []
+        end
+      | _ -> []
+    in
+    (* arity is known at compile time; reject unknown functions here so the
+       error surfaces on first evaluation, cached or not *)
+    check_known name (List.length args);
+    Call (name, args)
+
+and skip_bool_args ctx =
+  match ctx.lx.tok with
+  | Tlparen ->
+    advance ctx.lx;
+    let rec go () =
+      let _ = parse_ternary ctx in
+      match ctx.lx.tok with
+      | Tcomma ->
+        advance ctx.lx;
+        go ()
+      | Trparen -> advance ctx.lx
+      | _ -> fail "expected , or ) in function call"
+    in
+    if ctx.lx.tok = Trparen then advance ctx.lx else go ()
+  | _ -> ()
+
+and check_known name arity =
+  let ok =
+    match (name, arity) with
+    | ("abs" | "int" | "round" | "floor" | "ceil" | "double" | "sqrt"), 1 -> true
+    | ("exp" | "log" | "log10" | "sin" | "cos" | "tan"), 1 -> true
+    | ("pow" | "fmod"), 2 -> true
+    | ("min" | "max"), n when n >= 1 -> true
+    | _ -> false
   in
+  if not ok then fail (Printf.sprintf "unknown function %s/%d" name arity)
+
+and parse_pow ctx =
+  let base = parse_unary ctx in
+  match ctx.lx.tok with
+  | Top "**" ->
+    advance ctx.lx;
+    (* right-associative *)
+    Bin (Pow, base, parse_pow ctx)
+  | _ -> base
+
+and parse_mul ctx =
+  let rec go acc =
+    match ctx.lx.tok with
+    | Top (("*" | "/" | "%") as op) ->
+      advance ctx.lx;
+      go (Bin (binop_of_string op, acc, parse_pow ctx))
+    | _ -> acc
+  in
+  go (parse_pow ctx)
+
+and parse_add ctx =
+  let rec go acc =
+    match ctx.lx.tok with
+    | Top (("+" | "-") as op) ->
+      advance ctx.lx;
+      go (Bin (binop_of_string op, acc, parse_mul ctx))
+    | _ -> acc
+  in
+  go (parse_mul ctx)
+
+and parse_cmp ctx =
+  let rec go acc =
+    match ctx.lx.tok with
+    | Top (("<" | "<=" | ">" | ">=") as op) ->
+      advance ctx.lx;
+      go (Bin (binop_of_string op, acc, parse_add ctx))
+    | _ -> acc
+  in
+  go (parse_add ctx)
+
+and parse_eq ctx =
+  let rec go acc =
+    match ctx.lx.tok with
+    | Top (("==" | "!=" | "eq" | "ne" | "in" | "ni") as op) ->
+      advance ctx.lx;
+      go (Bin (binop_of_string op, acc, parse_cmp ctx))
+    | _ -> acc
+  in
+  go (parse_cmp ctx)
+
+and parse_and ctx =
+  let acc = parse_eq ctx in
+  match ctx.lx.tok with
+  | Top "&&" ->
+    advance ctx.lx;
+    And (acc, parse_and ctx)
+  | _ -> acc
+
+and parse_or ctx =
+  let acc = parse_and ctx in
+  match ctx.lx.tok with
+  | Top "||" ->
+    advance ctx.lx;
+    Or (acc, parse_or ctx)
+  | _ -> acc
+
+and parse_ternary ctx =
+  let cond = parse_or ctx in
+  match ctx.lx.tok with
+  | Top "?" ->
+    advance ctx.lx;
+    let then_ = parse_ternary ctx in
+    (match ctx.lx.tok with
+    | Top ":" -> advance ctx.lx
+    | _ -> fail "expected : in ?: expression");
+    (* right-associative: the else arm may itself be a ternary *)
+    Ternary (cond, then_, parse_ternary ctx)
+  | _ -> cond
+
+let compile src =
+  let lx = { src; pos = 0; tok = Teof } in
+  advance lx;
+  let ctx = { lx } in
+  let ast = parse_ternary ctx in
+  (match ctx.lx.tok with
+  | Teof -> ()
+  | _ -> fail "trailing characters in expression");
+  ast
+
+(* --- evaluator (ast -> num) --------------------------------------------- *)
+
+let list_membership opname want a b =
+  let elem = num_to_string a in
+  match Value.to_list (num_to_string b) with
+  | Error msg -> fail (Printf.sprintf "%s: %s" opname msg)
+  | Ok l ->
+    let mem = List.mem elem l in
+    Int (if mem = want then 1 else 0)
+
+let apply_bin op a b =
+  match op with
+  | Add -> arith ( + ) ( +. ) a b
+  | Sub -> arith ( - ) ( -. ) a b
+  | Mul -> arith ( * ) ( *. ) a b
+  | Div -> (
+    match as_num a with
+    | Int x -> (
+      match as_num b with
+      | Int 0 -> fail "division by zero"
+      | Int y ->
+        (* Tcl floors integer division toward negative infinity *)
+        let q = if (x < 0) <> (y < 0) && x mod y <> 0 then (x / y) - 1 else x / y in
+        Int q
+      | Float y -> Float (float_of_int x /. y)
+      | Str _ -> assert false)
+    | Float x -> (
+      match as_num b with
+      | Int y -> Float (x /. float_of_int y)
+      | Float y -> Float (x /. y)
+      | Str _ -> assert false)
+    | Str _ -> assert false)
+  | Mod ->
+    let x = as_int a and y = as_int b in
+    if y = 0 then fail "modulo by zero";
+    let m = x mod y in
+    let m = if m <> 0 && (m < 0) <> (y < 0) then m + y else m in
+    Int m
+  | Pow -> Float (Float.pow (as_float a) (as_float b))
+  | Lt -> Int (if compare_vals a b < 0 then 1 else 0)
+  | Le -> Int (if compare_vals a b <= 0 then 1 else 0)
+  | Gt -> Int (if compare_vals a b > 0 then 1 else 0)
+  | Ge -> Int (if compare_vals a b >= 0 then 1 else 0)
+  | EqNum -> Int (if compare_vals a b = 0 then 1 else 0)
+  | NeNum -> Int (if compare_vals a b <> 0 then 1 else 0)
+  | StrEq -> Int (if String.equal (num_to_string a) (num_to_string b) then 1 else 0)
+  | StrNe -> Int (if String.equal (num_to_string a) (num_to_string b) then 0 else 1)
+  | InList -> list_membership "in" true a b
+  | NiList -> list_membership "ni" false a b
+
+let apply_fn name args =
   match (name, args) with
-  | ("true" | "yes" | "on"), _ -> Int 1
-  | ("false" | "no" | "off"), _ -> Int 0
   | "abs", [ v ] -> (
     match as_num v with
     | Int i -> Int (abs i)
@@ -346,132 +596,39 @@ and parse_call ctx name =
     List.fold_left (fun acc v -> if compare_vals v acc > 0 then v else acc) (List.hd vs) vs
   | _ -> fail (Printf.sprintf "unknown function %s/%d" name (List.length args))
 
-and parse_pow ctx =
-  let base = parse_unary ctx in
-  match ctx.lx.tok with
-  | Top "**" ->
-    advance ctx.lx;
-    let expo = parse_pow ctx in
-    Float (Float.pow (as_float base) (as_float expo))
-  | _ -> base
+let rec eval_node ~lookup ~eval_cmd node =
+  match node with
+  | Const v -> v
+  | Var name -> Str (lookup name)
+  | Cmd script -> Str (eval_cmd script)
+  | Not a -> Int (if truthy_num (eval_node ~lookup ~eval_cmd a) then 0 else 1)
+  | Neg a -> (
+    match as_num (eval_node ~lookup ~eval_cmd a) with
+    | Int i -> Int (-i)
+    | Float f -> Float (-.f)
+    | Str _ -> assert false)
+  | Pos a -> as_num (eval_node ~lookup ~eval_cmd a)
+  | BitNot a -> Int (lnot (as_int (eval_node ~lookup ~eval_cmd a)))
+  | Bin (op, a, b) ->
+    (* strict, left-to-right *)
+    let va = eval_node ~lookup ~eval_cmd a in
+    let vb = eval_node ~lookup ~eval_cmd b in
+    apply_bin op va vb
+  | And (a, b) ->
+    if not (truthy_num (eval_node ~lookup ~eval_cmd a)) then Int 0
+    else Int (if truthy_num (eval_node ~lookup ~eval_cmd b) then 1 else 0)
+  | Or (a, b) ->
+    if truthy_num (eval_node ~lookup ~eval_cmd a) then Int 1
+    else Int (if truthy_num (eval_node ~lookup ~eval_cmd b) then 1 else 0)
+  | Ternary (c, a, b) ->
+    if truthy_num (eval_node ~lookup ~eval_cmd c) then eval_node ~lookup ~eval_cmd a
+    else eval_node ~lookup ~eval_cmd b
+  | Call (name, args) ->
+    apply_fn name (List.map (eval_node ~lookup ~eval_cmd) args)
 
-and parse_mul ctx =
-  let rec go acc =
-    match ctx.lx.tok with
-    | Top "*" ->
-      advance ctx.lx;
-      go (arith "*" ( * ) ( *. ) acc (parse_pow ctx))
-    | Top "/" ->
-      advance ctx.lx;
-      let b = parse_pow ctx in
-      let result =
-        match (as_num acc, as_num b) with
-        | Int _, Int 0 -> fail "division by zero"
-        | Int x, Int y ->
-          (* Tcl floors integer division toward negative infinity *)
-          let q = if (x < 0) <> (y < 0) && x mod y <> 0 then (x / y) - 1 else x / y in
-          Int q
-        | (Int _ | Float _), (Int _ | Float _) -> Float (as_float acc /. as_float b)
-        | _ -> fail "bad operands for /"
-      in
-      go result
-    | Top "%" ->
-      advance ctx.lx;
-      let b = parse_pow ctx in
-      let x = as_int acc and y = as_int b in
-      if y = 0 then fail "modulo by zero";
-      let m = x mod y in
-      let m = if m <> 0 && (m < 0) <> (y < 0) then m + y else m in
-      go (Int m)
-    | _ -> acc
-  in
-  go (parse_pow ctx)
+let eval_ast ~lookup ~eval_cmd ast = num_to_string (eval_node ~lookup ~eval_cmd ast)
+let eval_ast_bool ~lookup ~eval_cmd ast = truthy_num (eval_node ~lookup ~eval_cmd ast)
 
-and parse_add ctx =
-  let rec go acc =
-    match ctx.lx.tok with
-    | Top "+" ->
-      advance ctx.lx;
-      go (arith "+" ( + ) ( +. ) acc (parse_mul ctx))
-    | Top "-" ->
-      advance ctx.lx;
-      go (arith "-" ( - ) ( -. ) acc (parse_mul ctx))
-    | _ -> acc
-  in
-  go (parse_mul ctx)
-
-and parse_cmp ctx =
-  let rec go acc =
-    match ctx.lx.tok with
-    | Top (("<" | "<=" | ">" | ">=") as op) ->
-      advance ctx.lx;
-      let b = parse_add ctx in
-      let c = compare_vals acc b in
-      let r =
-        match op with
-        | "<" -> c < 0
-        | "<=" -> c <= 0
-        | ">" -> c > 0
-        | ">=" -> c >= 0
-        | _ -> assert false
-      in
-      go (Int (if r then 1 else 0))
-    | _ -> acc
-  in
-  go (parse_add ctx)
-
-and parse_eq ctx =
-  let rec go acc =
-    match ctx.lx.tok with
-    | Top (("==" | "!=") as op) ->
-      advance ctx.lx;
-      let b = parse_cmp ctx in
-      let c = compare_vals acc b = 0 in
-      go (Int (if c = (op = "==") then 1 else 0))
-    | Top (("eq" | "ne") as op) ->
-      advance ctx.lx;
-      let b = parse_cmp ctx in
-      let sa = num_to_string acc and sb = num_to_string b in
-      let c = String.equal sa sb in
-      go (Int (if c = (op = "eq") then 1 else 0))
-    | Top (("in" | "ni") as op) ->
-      advance ctx.lx;
-      let b = parse_cmp ctx in
-      let elem = num_to_string acc in
-      let l = Value.to_list_exn (num_to_string b) in
-      let mem = List.mem elem l in
-      go (Int (if mem = (op = "in") then 1 else 0))
-    | _ -> acc
-  in
-  go (parse_cmp ctx)
-
-and parse_and ctx =
-  let acc = parse_eq ctx in
-  match ctx.lx.tok with
-  | Top "&&" ->
-    advance ctx.lx;
-    let rhs = parse_and ctx in
-    Int (if truthy_num acc && truthy_num rhs then 1 else 0)
-  | _ -> acc
-
-and parse_or ctx =
-  let acc = parse_and ctx in
-  match ctx.lx.tok with
-  | Top "||" ->
-    advance ctx.lx;
-    let rhs = parse_or ctx in
-    Int (if truthy_num acc || truthy_num rhs then 1 else 0)
-  | _ -> acc
-
-let eval_num ~lookup ~eval_cmd src =
-  let lx = { src; pos = 0; tok = Teof } in
-  advance lx;
-  let ctx = { lx; lookup; eval_cmd } in
-  let v = parse_or ctx in
-  (match ctx.lx.tok with
-  | Teof -> ()
-  | _ -> fail "trailing characters in expression");
-  v
-
-let eval ~lookup ~eval_cmd src = num_to_string (eval_num ~lookup ~eval_cmd src)
-let eval_bool ~lookup ~eval_cmd src = truthy_num (eval_num ~lookup ~eval_cmd src)
+(* one-shot conveniences: compile + evaluate, no cache *)
+let eval ~lookup ~eval_cmd src = eval_ast ~lookup ~eval_cmd (compile src)
+let eval_bool ~lookup ~eval_cmd src = eval_ast_bool ~lookup ~eval_cmd (compile src)

@@ -4,10 +4,30 @@ exception Break_exc
 exception Continue_exc
 exception Resource_exhausted
 
+module Lru = Tacoma_util.Lru
+
 type command_fn = t -> string list -> string
 
+(* AST nodes instantiated with this interpreter's command type, so inline
+   command caches hold the resolved functions directly *)
+and script = command_fn Ast.script
+
+(* Compiled-code caches: parsed scripts and compiled expressions, keyed by
+   source string, LRU-bounded.  Parsed ASTs carry per-node inline caches
+   but those validate against the evaluating interpreter, so a cache may be
+   private to one interpreter (the default) or shared by every interpreter
+   a site creates — the kernel shares one per simulation, which is what
+   lets the second activation of an agent skip the parser entirely. *)
+and caches = {
+  parsed : (string, script) Lru.t;
+  exprs : (string, Expr.ast) Lru.t;
+}
+
 and t = {
+  uid : int; (* distinguishes interpreters sharing cached ASTs *)
   commands : (string, command_fn) Hashtbl.t;
+  mutable cmd_epoch : int;
+      (* bumped by register/unregister so stale inline caches are refused *)
   proc_bodies : (string, string * string) Hashtbl.t; (* name -> params, body (introspection) *)
   globals : (string, string) Hashtbl.t;
   global_arrays : (string, (string, string) Hashtbl.t) Hashtbl.t;
@@ -19,55 +39,143 @@ and t = {
   mutable prof_commands : int;
   mutable prof_proc_calls : int;
   mutable prof_max_depth : int;
-  parse_cache : (string, Ast.script) Hashtbl.t;
+  mutable prof_parse_hits : int;
+  mutable prof_parse_misses : int;
+  mutable prof_parse_evictions : int;
+  mutable prof_expr_hits : int;
+  mutable prof_expr_misses : int;
+  mutable prof_expr_evictions : int;
+  caches : caches;
+  (* 1-entry memos over the shared caches, validated by physical equality
+     of the source string: a loop re-evaluating the same word of a cached
+     AST skips even the cache's hash lookup *)
+  mutable memo_parse : (string * script) option;
+  mutable memo_expr : (string * Expr.ast) option;
+  (* the two expr callbacks close only over [t]; allocated once here
+     instead of once per expression evaluation *)
+  mutable expr_lookup_fn : string -> string;
+  mutable expr_eval_cmd_fn : string -> string;
   out_buf : Buffer.t;
   mutable output : string -> unit;
 }
 
+(* Only [vars] is allocated up front: most proc frames never touch arrays,
+   [global] links or [upvar] aliases, so those three tables materialise on
+   first write.  This cuts a frame from four hashtable allocations to one. *)
 and frame = {
   vars : (string, string) Hashtbl.t;
-  arrays : (string, (string, string) Hashtbl.t) Hashtbl.t;
-  linked_globals : (string, unit) Hashtbl.t;
-  upvars : (string, frame option * string) Hashtbl.t;
+  mutable arrays : (string, (string, string) Hashtbl.t) Hashtbl.t option;
+  mutable linked_globals : (string, unit) Hashtbl.t option;
+  mutable upvars : (string, frame option * string) Hashtbl.t option;
       (* local alias -> (target frame, None = global scope; target name) *)
 }
 
 let err fmt = Printf.ksprintf (fun msg -> raise (Error_exc msg)) fmt
 
+let default_cache_entries = 512
+
+let create_caches ?(parse_entries = default_cache_entries)
+    ?(expr_entries = default_cache_entries) () =
+  { parsed = Lru.create ~budget:parse_entries (); exprs = Lru.create ~budget:expr_entries () }
+
+(* interpreter uids only need to be distinct among interpreters sharing a
+   cache; a process-wide counter is simplest *)
+let uid_counter = ref 0
+
 (* ---- variables -------------------------------------------------------- *)
 
 (* scope resolution: a name in a frame may be linked to the globals
-   ([global]) or aliased into another frame ([upvar]); chase the links *)
+   ([global]) or aliased into another frame ([upvar]); chase the links.
+   The lazy tables make the common case (neither [global] nor [upvar]
+   used) two pointer tests with no hashtable probe. *)
 let rec resolve_scope scope name =
   match scope with
   | None -> (None, name)
-  | Some f ->
-    if Hashtbl.mem f.linked_globals name then (None, name)
-    else (
-      match Hashtbl.find_opt f.upvars name with
-      | Some (target, oname) -> resolve_scope target oname
-      | None -> (scope, name))
+  | Some f -> (
+    match f.linked_globals with
+    | Some lg when Hashtbl.mem lg name -> (None, name)
+    | Some _ | None -> (
+      match f.upvars with
+      | None -> (scope, name)
+      | Some uv -> (
+        match Hashtbl.find_opt uv name with
+        | Some (target, oname) -> resolve_scope target oname
+        | None -> (scope, name))))
 
 let current_scope t = match t.frames with [] -> None | f :: _ -> Some f
 let resolve_name t name = resolve_scope (current_scope t) name
 let scope_vars t = function None -> t.globals | Some f -> f.vars
-let scope_arrays t = function None -> t.global_arrays | Some f -> f.arrays
+
+(* read path: never forces the frame's array table into existence *)
+let scope_arrays_opt t = function
+  | None -> Some t.global_arrays
+  | Some f -> f.arrays
+
+(* write path: materialises the table on first use *)
+let scope_arrays_rw t = function
+  | None -> t.global_arrays
+  | Some f -> (
+    match f.arrays with
+    | Some h -> h
+    | None ->
+      let h = Hashtbl.create 4 in
+      f.arrays <- Some h;
+      h)
+
+let frame_linked_globals f =
+  match f.linked_globals with
+  | Some h -> h
+  | None ->
+    let h = Hashtbl.create 4 in
+    f.linked_globals <- Some h;
+    h
+
+let frame_upvars f =
+  match f.upvars with
+  | Some h -> h
+  | None ->
+    let h = Hashtbl.create 4 in
+    f.upvars <- Some h;
+    h
 
 let resolved_vars t name =
   let scope, n = resolve_name t name in
   (scope_vars t scope, n)
 
-let resolved_arrays t name =
+let resolved_arrays_opt t name =
   let scope, n = resolve_name t name in
-  (scope_arrays t scope, n)
+  (scope_arrays_opt t scope, n)
+
+let resolved_arrays_rw t name =
+  let scope, n = resolve_name t name in
+  (scope_arrays_rw t scope, n)
+
+(* The accessors below special-case the two overwhelmingly common shapes —
+   global scope, and a frame with no [global]/[upvar] links — so a plain
+   variable read or write is one hashtable probe with no intermediate
+   tuples.  (A [match a, b with] scrutinee compiles without building the
+   tuple.)  The general resolver only runs when links exist. *)
 
 let array_exists t name =
-  let tbl, n = resolved_arrays t name in
-  Hashtbl.mem tbl n
+  match t.frames with
+  | [] -> Hashtbl.length t.global_arrays <> 0 && Hashtbl.mem t.global_arrays name
+  | f :: _ -> (
+    match (f.linked_globals, f.upvars) with
+    | None, None -> ( match f.arrays with None -> false | Some a -> Hashtbl.mem a name)
+    | _ -> (
+      match resolved_arrays_opt t name with
+      | Some tbl, n -> Hashtbl.mem tbl n
+      | None, _ -> false))
 
 let get_var_opt t name =
-  let tbl, n = resolved_vars t name in
-  Hashtbl.find_opt tbl n
+  match t.frames with
+  | [] -> Hashtbl.find_opt t.globals name
+  | f :: _ -> (
+    match (f.linked_globals, f.upvars) with
+    | None, None -> Hashtbl.find_opt f.vars name
+    | _ ->
+      let tbl, n = resolved_vars t name in
+      Hashtbl.find_opt tbl n)
 
 let get_var t name =
   match get_var_opt t name with
@@ -78,20 +186,29 @@ let get_var t name =
 
 let set_var t name v =
   if array_exists t name then err "can't set %S: variable is array" name;
-  let tbl, n = resolved_vars t name in
-  Hashtbl.replace tbl n v
+  match t.frames with
+  | [] -> Hashtbl.replace t.globals name v
+  | f :: _ -> (
+    match (f.linked_globals, f.upvars) with
+    | None, None -> Hashtbl.replace f.vars name v
+    | _ ->
+      let tbl, n = resolved_vars t name in
+      Hashtbl.replace tbl n v)
 
 let unset_var t name =
   let vtbl, vn = resolved_vars t name in
   Hashtbl.remove vtbl vn;
-  let atbl, an = resolved_arrays t name in
-  Hashtbl.remove atbl an
+  match resolved_arrays_opt t name with
+  | Some atbl, an -> Hashtbl.remove atbl an
+  | None, _ -> ()
 
 (* ---- array elements ----------------------------------------------------- *)
 
 let get_elem_opt t name index =
-  let tbl, n = resolved_arrays t name in
-  Option.bind (Hashtbl.find_opt tbl n) (fun arr -> Hashtbl.find_opt arr index)
+  match resolved_arrays_opt t name with
+  | Some tbl, n ->
+    Option.bind (Hashtbl.find_opt tbl n) (fun arr -> Hashtbl.find_opt arr index)
+  | None, _ -> None
 
 let get_elem t name index =
   match get_elem_opt t name index with
@@ -101,7 +218,7 @@ let get_elem t name index =
 let set_elem t name index v =
   let vtbl, vn = resolved_vars t name in
   if Hashtbl.mem vtbl vn then err "can't set %S(%s): variable isn't array" name index;
-  let tbl, n = resolved_arrays t name in
+  let tbl, n = resolved_arrays_rw t name in
   let arr =
     match Hashtbl.find_opt tbl n with
     | Some arr -> arr
@@ -113,10 +230,12 @@ let set_elem t name index v =
   Hashtbl.replace arr index v
 
 let unset_elem t name index =
-  let tbl, n = resolved_arrays t name in
-  match Hashtbl.find_opt tbl n with
-  | Some arr -> Hashtbl.remove arr index
-  | None -> ()
+  match resolved_arrays_opt t name with
+  | Some tbl, n -> (
+    match Hashtbl.find_opt tbl n with
+    | Some arr -> Hashtbl.remove arr index
+    | None -> ())
+  | None, _ -> ()
 
 (* "name(index)" in a fully-substituted word (set a($i) v arrives here as
    "a(5)"); the index may contain anything except a leading '(' split *)
@@ -163,17 +282,51 @@ let set_step_limit t l = t.limit <- l
 let step_limit t = t.limit
 let reset_steps t = t.steps <- 0
 
-(* ---- parsing with cache ------------------------------------------------ *)
+(* ---- parsing and expression compilation, cached ------------------------ *)
 
 let parse t src =
-  match Hashtbl.find_opt t.parse_cache src with
-  | Some ast -> ast
-  | None -> (
-    match Parse.script_result src with
-    | Error msg -> err "syntax error: %s" msg
-    | Ok ast ->
-      if Hashtbl.length t.parse_cache > 512 then Hashtbl.reset t.parse_cache;
-      Hashtbl.replace t.parse_cache src ast;
+  match t.memo_parse with
+  | Some (s, ast) when s == src ->
+    t.prof_parse_hits <- t.prof_parse_hits + 1;
+    ast
+  | _ -> (
+    match Lru.find_opt t.caches.parsed src with
+    | Some ast ->
+      t.prof_parse_hits <- t.prof_parse_hits + 1;
+      t.memo_parse <- Some (src, ast);
+      ast
+    | None -> (
+      t.prof_parse_misses <- t.prof_parse_misses + 1;
+      match Parse.script_result src with
+      | Error msg -> err "syntax error: %s" msg
+      | Ok ast ->
+        let e0 = Lru.evictions t.caches.parsed in
+        ignore (Lru.add t.caches.parsed src ast);
+        t.prof_parse_evictions <-
+          t.prof_parse_evictions + (Lru.evictions t.caches.parsed - e0);
+        t.memo_parse <- Some (src, ast);
+        ast))
+
+(* failed compiles are not cached: the error must re-raise on every
+   evaluation, and error paths are never hot *)
+let compile_expr t src =
+  match t.memo_expr with
+  | Some (s, ast) when s == src ->
+    t.prof_expr_hits <- t.prof_expr_hits + 1;
+    ast
+  | _ -> (
+    match Lru.find_opt t.caches.exprs src with
+    | Some ast ->
+      t.prof_expr_hits <- t.prof_expr_hits + 1;
+      t.memo_expr <- Some (src, ast);
+      ast
+    | None ->
+      t.prof_expr_misses <- t.prof_expr_misses + 1;
+      let ast = try Expr.compile src with Expr.Error msg -> err "expr: %s" msg in
+      let e0 = Lru.evictions t.caches.exprs in
+      ignore (Lru.add t.caches.exprs src ast);
+      t.prof_expr_evictions <- t.prof_expr_evictions + (Lru.evictions t.caches.exprs - e0);
+      t.memo_expr <- Some (src, ast);
       ast)
 
 (* ---- evaluation -------------------------------------------------------- *)
@@ -188,19 +341,56 @@ and eval_fragment t frag =
   match frag with
   | Ast.Lit s -> s
   | Ast.Var name -> get_var t name
+  | Ast.VarElem (name, [ frag ]) -> get_elem t name (eval_fragment t frag)
   | Ast.VarElem (name, index_frags) ->
     get_elem t name (String.concat "" (List.map (eval_fragment t) index_frags))
   | Ast.Cmd script -> eval_ast t script
 
-and eval_command t words =
-  match words with
+and eval_command t cmd =
+  match cmd.Ast.words with
   | [] -> ""
-  | name_word :: arg_words ->
+  | name_word :: arg_words -> (
     charge t 1;
     t.prof_commands <- t.prof_commands + 1;
-    let name = eval_word t name_word in
-    let args = List.map (eval_word t) arg_words in
-    dispatch t name args
+    (* inline command cache: when this interpreter resolved this node
+       before and no command has been (un)registered since, skip the name
+       substitution and the table lookup *)
+    match cmd.Ast.c_fn with
+    | Some fn when cmd.Ast.c_id = t.uid && cmd.Ast.c_epoch = t.cmd_epoch ->
+      fn t (eval_args t arg_words)
+    | _ -> (
+      let name = eval_word t name_word in
+      let args = eval_args t arg_words in
+      match Hashtbl.find_opt t.commands name with
+      | Some fn ->
+        (* only a literal name resolves to the same command every time *)
+        (match name_word with
+        | Ast.Braced _ | Ast.Frags [ Ast.Lit _ ] ->
+          cmd.Ast.c_fn <- Some fn;
+          cmd.Ast.c_id <- t.uid;
+          cmd.Ast.c_epoch <- t.cmd_epoch
+        | _ -> ());
+        fn t args
+      | None -> err "invalid command name %S" name))
+
+(* left-to-right argument evaluation, arity-specialised so the common 1-3
+   argument commands build their list without a [List.map] closure *)
+and eval_args t arg_words =
+  match arg_words with
+  | [] -> []
+  | [ a ] -> [ eval_word t a ]
+  | [ a; b ] ->
+    let va = eval_word t a in
+    let vb = eval_word t b in
+    [ va; vb ]
+  | [ a; b; c ] ->
+    let va = eval_word t a in
+    let vb = eval_word t b in
+    let vc = eval_word t c in
+    [ va; vb; vc ]
+  | a :: rest ->
+    let va = eval_word t a in
+    va :: eval_args t rest
 
 and dispatch t name args =
   match Hashtbl.find_opt t.commands name with
@@ -208,7 +398,12 @@ and dispatch t name args =
   | None -> err "invalid command name %S" name
 
 and eval_ast t script =
-  List.fold_left (fun _ cmd -> eval_command t cmd) "" script
+  match script with
+  | [] -> ""
+  | [ cmd ] -> eval_command t cmd
+  | cmd :: rest ->
+    ignore (eval_command t cmd);
+    eval_ast t rest
 
 and eval_string t src = eval_ast t (parse t src)
 
@@ -218,6 +413,7 @@ and eval_string t src = eval_ast t (parse t src)
    for free. *)
 and subst_string t s =
   match Parse.fragments s with
+  | [ frag ] -> eval_fragment t frag
   | frags -> String.concat "" (List.map (eval_fragment t) frags)
   | exception Parse.Syntax_error msg -> err "substitution: %s" msg
 
@@ -230,12 +426,21 @@ and expr_lookup t n =
 
 and eval_expr_value t src =
   charge t 1;
-  try Expr.eval ~lookup:(expr_lookup t) ~eval_cmd:(fun s -> eval_string t s) src
+  let ast = compile_expr t src in
+  try Expr.eval_ast ~lookup:t.expr_lookup_fn ~eval_cmd:t.expr_eval_cmd_fn ast
   with Expr.Error msg -> err "expr: %s" msg
 
 and eval_expr_bool t src =
   charge t 1;
-  try Expr.eval_bool ~lookup:(expr_lookup t) ~eval_cmd:(fun s -> eval_string t s) src
+  let ast = compile_expr t src in
+  try Expr.eval_ast_bool ~lookup:t.expr_lookup_fn ~eval_cmd:t.expr_eval_cmd_fn ast
+  with Expr.Error msg -> err "expr: %s" msg
+
+(* loop bodies hoist compilation out of the iteration: the condition is
+   compiled once, then only charged and evaluated per pass *)
+and eval_expr_bool_ast t ast =
+  charge t 1;
+  try Expr.eval_ast_bool ~lookup:t.expr_lookup_fn ~eval_cmd:t.expr_eval_cmd_fn ast
   with Expr.Error msg -> err "expr: %s" msg
 
 let eval t src =
@@ -253,9 +458,12 @@ let call t name args = dispatch t name args
 
 (* ---- host command API --------------------------------------------------- *)
 
-let register t name fn = Hashtbl.replace t.commands name fn
+let register t name fn =
+  t.cmd_epoch <- t.cmd_epoch + 1;
+  Hashtbl.replace t.commands name fn
 
 let unregister t name =
+  t.cmd_epoch <- t.cmd_epoch + 1;
   Hashtbl.remove t.commands name;
   Hashtbl.remove t.proc_bodies name
 
@@ -295,14 +503,7 @@ let usage_of_params name params =
   String.concat " " (name :: List.map render params)
 
 let bind_params name params args =
-  let frame =
-    {
-      vars = Hashtbl.create 8;
-      arrays = Hashtbl.create 4;
-      linked_globals = Hashtbl.create 4;
-      upvars = Hashtbl.create 4;
-    }
-  in
+  let frame = { vars = Hashtbl.create 8; arrays = None; linked_globals = None; upvars = None } in
   let wrong () = err "wrong # args: should be %S" (usage_of_params name params) in
   let rec go params args =
     match (params, args) with
@@ -351,7 +552,12 @@ let define_proc t name param_spec body =
 
 (* ---- builtin commands ---------------------------------------------------- *)
 
-let nth args i = List.nth args i
+(* List.nth would leak a bare [Failure "nth"] OCaml exception on an
+   out-of-range index; surface a proper script-level error instead *)
+let nth ~cmd args i =
+  match List.nth_opt args i with
+  | Some v -> v
+  | None -> err "wrong # args: %S: index %d out of range" cmd i
 
 let int_arg what s =
   match Value.int_of s with Some i -> i | None -> err "expected integer for %s, got %S" what s
@@ -399,7 +605,9 @@ let install_core t0 =
   reg "global" (fun t args ->
       (match t.frames with
       | [] -> ()
-      | frame :: _ -> List.iter (fun n -> Hashtbl.replace frame.linked_globals n ()) args);
+      | frame :: _ ->
+        let lg = frame_linked_globals frame in
+        List.iter (fun n -> Hashtbl.replace lg n ()) args);
       "");
 
   reg "upvar" (fun t args ->
@@ -432,9 +640,10 @@ let install_core t0 =
       (match t.frames with
       | [] -> err "upvar: no enclosing frame"
       | frame :: _ ->
+        let uv = frame_upvars frame in
         let rec link = function
           | other :: local :: rest ->
-            Hashtbl.replace frame.upvars local (target, other);
+            Hashtbl.replace uv local (target, other);
             link rest
           | [] -> ()
           | [ _ ] -> err "upvar: unbalanced variable pairs"
@@ -512,7 +721,12 @@ let install_core t0 =
 
   reg "eval" (fun t args -> eval_string t (String.concat " " args));
 
-  reg "expr" (fun t args -> eval_expr_value t (String.concat " " args));
+  reg "expr" (fun t args ->
+      (* single-argument form hits the compiled-expr cache without the
+         String.concat round-trip — the idiomatic [expr {...}] case *)
+      match args with
+      | [ src ] -> eval_expr_value t src
+      | _ -> eval_expr_value t (String.concat " " args));
 
   reg "if" (fun t args ->
       let rec go args =
@@ -538,9 +752,13 @@ let install_core t0 =
   reg "while" (fun t args ->
       match args with
       | [ cond; body ] ->
+        (* compile the condition and parse the body once, outside the
+           iteration; each pass still charges one step for the test *)
+        let cond_ast = compile_expr t cond in
+        let body_ast = parse t body in
         let rec loop () =
-          if eval_expr_bool t cond then begin
-            (try ignore (eval_string t body) with Continue_exc -> ());
+          if eval_expr_bool_ast t cond_ast then begin
+            (try ignore (eval_ast t body_ast) with Continue_exc -> ());
             loop ()
           end
         in
@@ -552,10 +770,13 @@ let install_core t0 =
       match args with
       | [ init; cond; next; body ] ->
         ignore (eval_string t init);
+        let cond_ast = compile_expr t cond in
+        let body_ast = parse t body in
+        let next_ast = parse t next in
         let rec loop () =
-          if eval_expr_bool t cond then begin
-            (try ignore (eval_string t body) with Continue_exc -> ());
-            ignore (eval_string t next);
+          if eval_expr_bool_ast t cond_ast then begin
+            (try ignore (eval_ast t body_ast) with Continue_exc -> ());
+            ignore (eval_ast t next_ast);
             loop ()
           end
         in
@@ -596,17 +817,20 @@ let install_core t0 =
       | _ -> err "wrong # args: should be \"foreach varList list body\"");
 
   reg "array" (fun t args ->
+      let find_array name =
+        match resolved_arrays_opt t name with
+        | Some tbl, n -> Hashtbl.find_opt tbl n
+        | None, _ -> None
+      in
       match args with
       | [ "exists"; name ] -> Value.of_bool (array_exists t name)
       | [ "size"; name ] -> (
-        let tbl, n = resolved_arrays t name in
-        match Hashtbl.find_opt tbl n with
+        match find_array name with
         | Some arr -> Value.of_int (Hashtbl.length arr)
         | None -> "0")
       | [ "names"; name ] | [ "names"; name; _ ] -> (
         let pattern = match args with [ _; _; p ] -> Some p | _ -> None in
-        let tbl, n = resolved_arrays t name in
-        match Hashtbl.find_opt tbl n with
+        match find_array name with
         | None -> ""
         | Some arr ->
           Hashtbl.fold (fun k _ acc -> k :: acc) arr []
@@ -616,8 +840,7 @@ let install_core t0 =
                  | Some p -> Strutil.glob_match ~pattern:p k)
           |> List.sort compare |> Value.of_list)
       | [ "get"; name ] -> (
-        let tbl, n = resolved_arrays t name in
-        match Hashtbl.find_opt tbl n with
+        match find_array name with
         | None -> ""
         | Some arr ->
           Hashtbl.fold (fun k v acc -> (k, v) :: acc) arr []
@@ -635,8 +858,9 @@ let install_core t0 =
         go (Value.to_list_exn kvlist);
         ""
       | [ "unset"; name ] ->
-        let tbl, n = resolved_arrays t name in
-        Hashtbl.remove tbl n;
+        (match resolved_arrays_opt t name with
+        | Some tbl, n -> Hashtbl.remove tbl n
+        | None, _ -> ());
         ""
       | [ "unset"; name; key ] ->
         unset_elem t name key;
@@ -918,7 +1142,7 @@ let install_lists t0 =
         let items = Value.to_list_exn l in
         let len = List.length items in
         let i = index_arg ~len i in
-        if i < 0 || i >= len then "" else nth items i
+        if i < 0 || i >= len then "" else nth ~cmd:"lindex" items i
       | _ -> err "wrong # args: should be \"lindex list ?index?\"");
 
   reg "lappend" (fun t args ->
@@ -1066,9 +1290,15 @@ let install_lists t0 =
         Value.of_list (List.rev !out)
       | _ -> err "wrong # args: should be \"lmap varList list body\"")
 
-let create ?step_limit ?(max_depth = 256) () =
+let create ?step_limit ?(max_depth = 256) ?caches () =
+  let caches =
+    match caches with Some c -> c | None -> create_caches ()
+  in
+  incr uid_counter;
   let t =
     {
+      uid = !uid_counter;
+      cmd_epoch = 0;
       commands = Hashtbl.create 64;
       proc_bodies = Hashtbl.create 16;
       globals = Hashtbl.create 32;
@@ -1081,11 +1311,23 @@ let create ?step_limit ?(max_depth = 256) () =
       prof_commands = 0;
       prof_proc_calls = 0;
       prof_max_depth = 0;
-      parse_cache = Hashtbl.create 64;
+      prof_parse_hits = 0;
+      prof_parse_misses = 0;
+      prof_parse_evictions = 0;
+      prof_expr_hits = 0;
+      prof_expr_misses = 0;
+      prof_expr_evictions = 0;
+      caches;
+      memo_parse = None;
+      memo_expr = None;
+      expr_lookup_fn = Fun.id;
+      expr_eval_cmd_fn = Fun.id;
       out_buf = Buffer.create 256;
       output = ignore;
     }
   in
+  t.expr_lookup_fn <- (fun name -> expr_lookup t name);
+  t.expr_eval_cmd_fn <- (fun s -> eval_string t s);
   t.output <- (fun s -> Buffer.add_string t.out_buf s);
   install_core t;
   install_strings t;
@@ -1096,7 +1338,28 @@ let create ?step_limit ?(max_depth = 256) () =
 
 (* Defined last: the [commands]/[max_depth] field names would otherwise
    shadow the interpreter record's own fields for the code above. *)
-type profile = { commands : int; proc_calls : int; max_depth : int }
+type profile = {
+  commands : int;
+  proc_calls : int;
+  max_depth : int;
+  parse_hits : int;
+  parse_misses : int;
+  parse_evictions : int;
+  expr_hits : int;
+  expr_misses : int;
+      (** also the number of expressions this interpreter compiled *)
+  expr_evictions : int;
+}
 
 let profile t =
-  { commands = t.prof_commands; proc_calls = t.prof_proc_calls; max_depth = t.prof_max_depth }
+  {
+    commands = t.prof_commands;
+    proc_calls = t.prof_proc_calls;
+    max_depth = t.prof_max_depth;
+    parse_hits = t.prof_parse_hits;
+    parse_misses = t.prof_parse_misses;
+    parse_evictions = t.prof_parse_evictions;
+    expr_hits = t.prof_expr_hits;
+    expr_misses = t.prof_expr_misses;
+    expr_evictions = t.prof_expr_evictions;
+  }

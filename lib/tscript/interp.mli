@@ -27,9 +27,26 @@ exception Continue_exc
 exception Resource_exhausted
 (** Step budget used up.  Not catchable from inside the script. *)
 
-val create : ?step_limit:int -> ?max_depth:int -> unit -> t
+(** {1 Compile caches}
+
+    Parsing (script text → AST) and expression compilation (expr source →
+    {!Expr.ast}) are memoised in bounded LRU caches.  A [caches] value can
+    be shared between interpreter instances: the kernel creates one per
+    simulation and threads it through every per-activation interpreter, so
+    an agent's loop condition is compiled once per site, not once per
+    activation.  Compiled ASTs are immutable, so sharing is safe. *)
+
+type caches
+
+val create_caches : ?parse_entries:int -> ?expr_entries:int -> unit -> caches
+(** Both bounds default to 512 entries; least-recently-used entries are
+    evicted one at a time when a bound is exceeded. *)
+
+val create : ?step_limit:int -> ?max_depth:int -> ?caches:caches -> unit -> t
 (** [step_limit] defaults to unlimited; [max_depth] (proc-call nesting)
-    defaults to 256.  The standard command set is pre-installed. *)
+    defaults to 256.  [caches] defaults to a fresh private pair — pass a
+    shared value to reuse compiled code across interpreters.  The standard
+    command set is pre-installed. *)
 
 (** {1 Evaluation} *)
 
@@ -89,6 +106,14 @@ type profile = {
   commands : int;   (** command executions (same granularity as steps) *)
   proc_calls : int; (** user proc invocations *)
   max_depth : int;  (** deepest proc nesting reached *)
+  parse_hits : int; (** script parse-cache hits by this interpreter *)
+  parse_misses : int;      (** scripts parsed (cache misses) *)
+  parse_evictions : int;   (** parse-cache evictions this interpreter caused *)
+  expr_hits : int;         (** compiled-expression cache hits *)
+  expr_misses : int;
+      (** expression compilations — i.e. the number of distinct-at-the-time
+          expressions this interpreter had to compile *)
+  expr_evictions : int;    (** expr-cache evictions this interpreter caused *)
 }
 
 val profile : t -> profile

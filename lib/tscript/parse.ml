@@ -209,8 +209,8 @@ and parse_script st ~in_bracket =
       eat ();
       go ()
     | Some _ ->
-      let cmd = parse_command st ~in_bracket in
-      if cmd <> [] then commands := cmd :: !commands;
+      let words = parse_command st ~in_bracket in
+      if words <> [] then commands := Ast.command words :: !commands;
       go ()
   in
   go ();

@@ -13,12 +13,13 @@
 
 exception Syntax_error of string
 
-val script : string -> Ast.script
-(** @raise Syntax_error on unbalanced constructs. *)
+val script : string -> 'fn Ast.script
+(** @raise Syntax_error on unbalanced constructs.  The result carries
+    empty inline-cache slots, hence the polymorphism. *)
 
-val script_result : string -> (Ast.script, string) result
+val script_result : string -> ('fn Ast.script, string) result
 
-val fragments : string -> Ast.fragment list
+val fragments : string -> 'fn Ast.fragment list
 (** Parse a whole string as substitution fragments (no word splitting, no
     command terminators) — the engine of the [subst] command.
     @raise Syntax_error on unbalanced constructs. *)

@@ -13,7 +13,11 @@ let truthy s =
     match float_of_string_opt other with Some f -> f <> 0.0 | None -> true)
 
 let of_bool b = if b then "1" else "0"
-let of_int = string_of_int
+
+(* loop counters and list indices render the same small integers over and
+   over; share one immutable string per value instead of re-allocating *)
+let small_ints = Array.init 1024 string_of_int
+let of_int i = if i >= 0 && i < 1024 then Array.unsafe_get small_ints i else string_of_int i
 
 let of_float f =
   if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f

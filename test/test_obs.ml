@@ -382,6 +382,47 @@ let test_kernel_metrics () =
   Alcotest.(check bool) "network counters populated" true
     (Obs.Metrics.counter_total m "net.sent" >= 3)
 
+(* A migrating TScript agent re-runs the same source at every site; the
+   kernel's shared compile caches must turn the revisits into parse/expr
+   cache hits, surfaced through the metrics registry (what `tacoma
+   metrics` prints). *)
+let test_interp_cache_metrics () =
+  let code =
+    {|
+    folder put TRAIL [host]
+    set i 0
+    set acc 0
+    while {$i < 10} {
+      set acc [expr {$acc + $i}]
+      incr i
+    }
+    if {[folder size TRAIL] < 4} {
+      set next ""
+      foreach n [neighbors] {
+        if {![folder contains TRAIL $n]} { set next $n; break }
+      }
+      folder set CODE [selfcode]
+      jump $next
+    }
+  |}
+  in
+  let net = Netsim.Net.create ~trace:false (Netsim.Topology.line 4) in
+  let k = Kernel.create net in
+  let bc = Briefcase.create () in
+  Briefcase.set bc Briefcase.code_folder code;
+  Kernel.launch k ~site:0 ~contact:"ag_script" bc;
+  Netsim.Net.run ~until:60.0 net;
+  let m = Netsim.Net.metrics net in
+  Alcotest.(check int) "all four sites activated" 4 (Kernel.activations k);
+  Alcotest.(check bool) "expr cache hits recorded" true
+    (Obs.Metrics.counter m "tscript.expr_cache.hit" > 0);
+  Alcotest.(check bool) "parse cache hits recorded" true
+    (Obs.Metrics.counter m "tscript.parse_cache.hit" > 0);
+  Alcotest.(check bool) "expressions compiled" true
+    (Obs.Metrics.counter m "tscript.exprs_compiled" > 0);
+  (* the cache bound is far above this workload: no evictions *)
+  Alcotest.(check int) "no evictions" 0 (Obs.Metrics.counter m "tscript.expr_cache.evict")
+
 let () =
   Alcotest.run "obs"
     [
@@ -413,5 +454,6 @@ let () =
             test_span_propagation_guard_relaunch;
           Alcotest.test_case "disabled tracing silent" `Quick test_disabled_tracing_is_silent;
           Alcotest.test_case "kernel counters" `Quick test_kernel_metrics;
+          Alcotest.test_case "interp cache counters" `Quick test_interp_cache_metrics;
         ] );
     ]

@@ -123,6 +123,32 @@ let expr_cases =
     ("set x 4; expr {$x * $x}", "16");
     ("expr {[expr {2+2}] + 1}", "5");
     ("expr {1e3 + 1}", "1001.0");
+    (* precedence ladder: ** over * over + over < over == over && over || *)
+    ("expr {2 + 3 * 4 ** 2}", "50.0");
+    ("expr {2 ** 3 ** 2}", "512.0");
+    ("expr {10 - 4 - 3}", "3");
+    ("expr {100 / 10 / 5}", "2");
+    ("expr {1 + 2 < 4 == 1}", "1");
+    ("expr {1 || 0 && 0}", "1");
+    ("expr {(1 || 0) && 0}", "0");
+    ("expr {1 + 1 == 2 && 2 + 2 == 4}", "1");
+    (* ternary, including right associativity of the else arm *)
+    ("expr {1 ? 2 : 3}", "2");
+    ("expr {0 ? 2 : 3}", "3");
+    ("expr {1 ? 0 : 1 ? 2 : 3}", "0");
+    ("expr {0 ? 1 : 0 ? 2 : 3}", "3");
+    ("set x 4; expr {$x > 3 ? \"big\" : \"small\"}", "big");
+    ("expr {1 < 2 ? 10 + 1 : 20 + 2}", "11");
+    (* int/float promotion and formatting round-trips *)
+    ("expr {1 + 1.0}", "2.0");
+    ("expr {1 / 2.0}", "0.5");
+    ("expr {2.0 * 2}", "4.0");
+    ("expr {5 % 3 + 0.5}", "2.5");
+    ("expr {int(2.0) + 1}", "3");
+    ("expr {1.0 == 1}", "1");
+    ("expr {[expr {1.5 * 2}] + 0.5}", "3.5");
+    ("expr {[expr {10 / 4.0}] * 4}", "10.0");
+    ("expr {[expr {2.0}] == 2}", "1");
   ]
 
 (* fuzz: random integer expression trees, rendered to expr syntax and
@@ -206,6 +232,101 @@ let test_expr_malformed () =
     (fun src -> ignore (error src))
     [ "expr {1 +}"; "expr {(1}"; "expr {foo(1)}"; "expr {$nope + 1}" ]
 
+(* Short-circuit &&/||/?: must not evaluate the skipped arm's [cmd]
+   operands — and must keep skipping when the same expression comes back
+   from the compiled-expression cache (second evaluation in the same
+   interpreter), since laziness lives in the AST, not the compiler. *)
+let test_expr_short_circuit_effects () =
+  let it = Interp.create () in
+  let run src =
+    match Interp.eval it src with
+    | Ok v -> v
+    | Error e -> Alcotest.failf "eval %S: %s" src e
+  in
+  ignore (run "proc bump {} {global n; incr n; return 1}");
+  ignore (run "set n 0");
+  (* cold path: first compile of each expression *)
+  check Alcotest.string "|| skips rhs (cold)" "1" (run "expr {1 || [bump]}");
+  check Alcotest.string "&& skips rhs (cold)" "0" (run "expr {0 && [bump]}");
+  check Alcotest.string "?: skips else arm (cold)" "7" (run "expr {1 ? 7 : [bump]}");
+  check Alcotest.string "?: skips then arm (cold)" "8" (run "expr {0 ? [bump] : 8}");
+  check Alcotest.string "no side effects after cold pass" "0" (run "set n");
+  (* cached-AST path: same sources again *)
+  check Alcotest.string "|| skips rhs (cached)" "1" (run "expr {1 || [bump]}");
+  check Alcotest.string "&& skips rhs (cached)" "0" (run "expr {0 && [bump]}");
+  check Alcotest.string "?: skips else arm (cached)" "7" (run "expr {1 ? 7 : [bump]}");
+  check Alcotest.string "?: skips then arm (cached)" "8" (run "expr {0 ? [bump] : 8}");
+  check Alcotest.string "no side effects after cached pass" "0" (run "set n");
+  let p = Interp.profile it in
+  Alcotest.(check bool) "cached pass actually hit the expr cache" true
+    (p.Interp.expr_hits >= 4);
+  (* arms that must run do run, on both paths *)
+  check Alcotest.string "|| evaluates rhs when needed" "1" (run "expr {0 || [bump]}");
+  check Alcotest.string "&& evaluates rhs when needed" "1" (run "expr {1 && [bump]}");
+  check Alcotest.string "both bumps happened" "2" (run "set n");
+  check Alcotest.string "|| evaluates rhs (cached)" "1" (run "expr {0 || [bump]}");
+  check Alcotest.string "bumped again through the cache" "3" (run "set n")
+
+let test_profile_counters () =
+  let it = Interp.create () in
+  let run src =
+    match Interp.eval it src with
+    | Ok v -> v
+    | Error e -> Alcotest.failf "eval %S: %s" src e
+  in
+  ignore (run "set i 0; while {$i < 10} {incr i}");
+  let p = Interp.profile it in
+  Alcotest.(check bool) "commands counted" true (p.Interp.commands > 10);
+  Alcotest.(check bool) "loop condition compiled once" true (p.Interp.expr_misses >= 1);
+  ignore (run "set i 0; while {$i < 10} {incr i}");
+  let p2 = Interp.profile it in
+  Alcotest.(check bool) "second run hits the parse cache" true
+    (p2.Interp.parse_hits > p.Interp.parse_hits);
+  Alcotest.(check bool) "second run hits the expr cache" true
+    (p2.Interp.expr_hits > p.Interp.expr_hits);
+  Alcotest.(check int) "second run compiles nothing new" p.Interp.expr_misses
+    p2.Interp.expr_misses
+
+(* A caches value shared between interpreters (the kernel does this per
+   simulation) lets a second interpreter reuse everything the first one
+   compiled. *)
+let test_shared_caches_across_interpreters () =
+  let caches = Interp.create_caches () in
+  let script = "set total 0; set i 0; while {$i < 5} {incr total $i; incr i}; set total" in
+  let run () =
+    let it = Interp.create ~caches () in
+    (match Interp.eval it script with
+    | Ok v -> check Alcotest.string "loop result" "10" v
+    | Error e -> Alcotest.failf "eval: %s" e);
+    Interp.profile it
+  in
+  let first = run () in
+  let second = run () in
+  Alcotest.(check bool) "first interpreter compiles" true (first.Interp.expr_misses >= 1);
+  Alcotest.(check int) "second interpreter compiles no expressions" 0
+    second.Interp.expr_misses;
+  Alcotest.(check int) "second interpreter parses nothing" 0 second.Interp.parse_misses;
+  Alcotest.(check bool) "second interpreter hits the shared expr cache" true
+    (second.Interp.expr_hits >= 1);
+  Alcotest.(check bool) "second interpreter hits the shared parse cache" true
+    (second.Interp.parse_hits >= 1)
+
+let test_cache_eviction_counted () =
+  let caches = Interp.create_caches ~parse_entries:4 ~expr_entries:2 () in
+  let it = Interp.create ~caches () in
+  for i = 1 to 8 do
+    match Interp.eval it (Printf.sprintf "expr {%d + %d}" i i) with
+    | Ok _ -> ()
+    | Error e -> Alcotest.failf "eval: %s" e
+  done;
+  let p = Interp.profile it in
+  Alcotest.(check bool) "expr evictions observed" true (p.Interp.expr_evictions > 0);
+  Alcotest.(check bool) "parse evictions observed" true (p.Interp.parse_evictions > 0);
+  (* evicted entries recompile cleanly *)
+  match Interp.eval it "expr {1 + 1}" with
+  | Ok v -> check Alcotest.string "recompiled after eviction" "2" v
+  | Error e -> Alcotest.failf "eval after eviction: %s" e
+
 (* --- interpreter semantics --- *)
 
 let semantics_cases =
@@ -246,6 +367,11 @@ let semantics_cases =
     ("set l {3 1 2}; lsort $l", "1 2 3");
     ("lsort -integer {10 9 2}", "2 9 10");
     ("lsort -unique {b a b a}", "a b");
+    ("lindex {a b c} 1", "b");
+    ("lindex {a b c} end", "c");
+    (* out-of-range indices yield the empty string, not an engine crash *)
+    ("lindex {a b c} 5", "");
+    ("catch {lindex {a b} 9} r; set r", ""); (* no error to catch *)
     ("lsearch {a b c} b", "1");
     ("lsearch -exact {a* x} x", "1");
     ("lsearch {apple banana} b*", "1");
@@ -592,6 +718,8 @@ let () =
         @ [
             Alcotest.test_case "division by zero" `Quick test_expr_division_by_zero;
             Alcotest.test_case "malformed" `Quick test_expr_malformed;
+            Alcotest.test_case "short-circuit side effects" `Quick
+              test_expr_short_circuit_effects;
             test_expr_fuzz_vs_reference;
           ]);
       ("semantics", expect_cases "semantics" semantics_cases
@@ -627,6 +755,13 @@ let () =
           Alcotest.test_case "limit aborts" `Quick test_step_limit_aborts;
           Alcotest.test_case "limit uncatchable" `Quick test_step_limit_not_catchable;
           Alcotest.test_case "empty loop metered" `Quick test_empty_loop_metered;
+        ] );
+      ( "caches",
+        [
+          Alcotest.test_case "profile counters" `Quick test_profile_counters;
+          Alcotest.test_case "shared across interpreters" `Quick
+            test_shared_caches_across_interpreters;
+          Alcotest.test_case "evictions counted" `Quick test_cache_eviction_counted;
         ] );
       ( "strutil",
         [

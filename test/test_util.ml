@@ -1,10 +1,11 @@
-(* Tests for the shared substrate: PRNG, heap, SHA-256/HMAC, hex, stats. *)
+(* Tests for the shared substrate: PRNG, heap, SHA-256/HMAC, hex, stats, LRU. *)
 
 module Rng = Tacoma_util.Rng
 module Heap = Tacoma_util.Heap
 module Sha256 = Tacoma_util.Sha256
 module Hexutil = Tacoma_util.Hexutil
 module Stats = Tacoma_util.Stats
+module Lru = Tacoma_util.Lru
 
 let check = Alcotest.check
 let qtest ?(count = 300) name gen prop =
@@ -187,6 +188,106 @@ let test_hex_invalid () =
   Alcotest.(check bool) "is_hex rejects" false (Hexutil.is_hex "zz");
   Alcotest.(check bool) "is_hex accepts" true (Hexutil.is_hex "00ffAB")
 
+(* --- lru --- *)
+
+let test_lru_basic () =
+  let c = Lru.create ~budget:3 () in
+  Alcotest.(check bool) "add a" true (Lru.add c "a" 1);
+  Alcotest.(check bool) "add b" true (Lru.add c "b" 2);
+  Alcotest.(check (option int)) "find a" (Some 1) (Lru.find_opt c "a");
+  Alcotest.(check (option int)) "find missing" None (Lru.find_opt c "z");
+  Alcotest.(check int) "length" 2 (Lru.length c);
+  Alcotest.(check bool) "mem" true (Lru.mem c "b");
+  Lru.remove c "b";
+  Alcotest.(check bool) "removed" false (Lru.mem c "b");
+  Alcotest.(check int) "no evictions yet" 0 (Lru.evictions c)
+
+let test_lru_evicts_least_recent () =
+  let evicted = ref [] in
+  let c = Lru.create ~on_evict:(fun k _ -> evicted := k :: !evicted) ~budget:3 () in
+  List.iter (fun k -> ignore (Lru.add c k 0)) [ "a"; "b"; "c" ];
+  (* touch "a" so "b" becomes the LRU entry *)
+  ignore (Lru.find_opt c "a");
+  ignore (Lru.add c "d" 0);
+  Alcotest.(check (list string)) "b evicted first" [ "b" ] !evicted;
+  Alcotest.(check bool) "a survived (refreshed)" true (Lru.mem c "a");
+  ignore (Lru.add c "e" 0);
+  Alcotest.(check (list string)) "then c" [ "c"; "b" ] !evicted;
+  Alcotest.(check int) "eviction counter" 2 (Lru.evictions c);
+  Alcotest.(check (list string)) "recency order" [ "e"; "d"; "a" ] (Lru.keys c)
+
+let test_lru_replace_refreshes () =
+  let c = Lru.create ~budget:2 () in
+  ignore (Lru.add c "a" 1);
+  ignore (Lru.add c "b" 2);
+  (* re-adding "a" refreshes it, so the next eviction takes "b" *)
+  ignore (Lru.add c "a" 10);
+  ignore (Lru.add c "c" 3);
+  Alcotest.(check (option int)) "replaced value" (Some 10) (Lru.find_opt c "a");
+  Alcotest.(check bool) "b evicted" false (Lru.mem c "b");
+  Alcotest.(check int) "length stays bounded" 2 (Lru.length c)
+
+let test_lru_weighted () =
+  let c = Lru.create ~weight:String.length ~budget:10 () in
+  Alcotest.(check bool) "add small" true (Lru.add c 1 "aaaa");
+  Alcotest.(check bool) "add small" true (Lru.add c 2 "bbbb");
+  Alcotest.(check int) "used weight" 8 (Lru.used c);
+  (* 5 more bytes forces key 1 (LRU) out: 4 + 5 <= 10 *)
+  Alcotest.(check bool) "add evicting" true (Lru.add c 3 "ccccc");
+  Alcotest.(check bool) "lru entry gone" false (Lru.mem c 1);
+  Alcotest.(check int) "used after eviction" 9 (Lru.used c);
+  (* a value that alone exceeds the budget is refused, cache untouched *)
+  Alcotest.(check bool) "oversized refused" false (Lru.add c 4 (String.make 11 'x'));
+  Alcotest.(check bool) "cache intact" true (Lru.mem c 3);
+  Alcotest.(check int) "budget" 10 (Lru.budget c)
+
+let test_lru_clear_keeps_eviction_count () =
+  let c = Lru.create ~budget:1 () in
+  ignore (Lru.add c "a" 0);
+  ignore (Lru.add c "b" 0);
+  Alcotest.(check int) "one eviction" 1 (Lru.evictions c);
+  Lru.clear c;
+  Alcotest.(check int) "empty" 0 (Lru.length c);
+  Alcotest.(check int) "used resets" 0 (Lru.used c);
+  Alcotest.(check int) "counter survives clear" 1 (Lru.evictions c);
+  ignore (Lru.add c "c" 7);
+  Alcotest.(check (option int)) "usable after clear" (Some 7) (Lru.find_opt c "c")
+
+let test_lru_fold_order () =
+  let c = Lru.create ~budget:4 () in
+  List.iter (fun k -> ignore (Lru.add c k (Char.code k.[0]))) [ "a"; "b"; "c" ];
+  ignore (Lru.find_opt c "b");
+  let keys = Lru.fold (fun k _ acc -> k :: acc) c [] in
+  (* fold runs most-recent-first, so the accumulated list is LRU-first *)
+  Alcotest.(check (list string)) "fold order" [ "a"; "c"; "b" ] keys
+
+let test_lru_model =
+  (* model check against an association-list reference with the same
+     refresh-on-hit, evict-LRU-on-overflow policy *)
+  qtest ~count:200 "matches a reference LRU model"
+    QCheck2.Gen.(list_size (0 -- 120) (pair (int_range 0 9) bool))
+    (fun ops ->
+      let budget = 4 in
+      let c = Lru.create ~budget () in
+      (* model: (key, value) list, most recent first *)
+      let model = ref [] in
+      List.for_all
+        (fun (k, is_add) ->
+          if is_add then begin
+            ignore (Lru.add c k k);
+            model := (k, k) :: List.remove_assoc k !model;
+            if List.length !model > budget then
+              model := List.filteri (fun i _ -> i < budget) !model
+          end
+          else begin
+            (match List.assoc_opt k !model with
+            | Some v -> model := (k, v) :: List.remove_assoc k !model
+            | None -> ());
+            ignore (Lru.find_opt c k)
+          end;
+          Lru.keys c = List.map fst !model)
+        ops)
+
 (* --- stats --- *)
 
 let test_stats_basic () =
@@ -239,6 +340,16 @@ let () =
           test_hex_roundtrip;
           Alcotest.test_case "known values" `Quick test_hex_known;
           Alcotest.test_case "invalid input" `Quick test_hex_invalid;
+        ] );
+      ( "lru",
+        [
+          Alcotest.test_case "basic" `Quick test_lru_basic;
+          Alcotest.test_case "evicts least recent" `Quick test_lru_evicts_least_recent;
+          Alcotest.test_case "replace refreshes" `Quick test_lru_replace_refreshes;
+          Alcotest.test_case "weighted budget" `Quick test_lru_weighted;
+          Alcotest.test_case "clear keeps counter" `Quick test_lru_clear_keeps_eviction_count;
+          Alcotest.test_case "fold order" `Quick test_lru_fold_order;
+          test_lru_model;
         ] );
       ( "stats",
         [
