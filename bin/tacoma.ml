@@ -193,6 +193,102 @@ let metrics_cmd =
        ~doc:"Run a TScript agent and print the kernel/network metrics registry.")
     Term.(const run $ topology $ n $ Tacoma_cli.transport_term $ Tacoma_cli.cache_term $ code)
 
+(* --- chaos: seeded invariant harness --------------------------------------- *)
+
+let chaos_cmd =
+  let run seeds seed sites horizon unguarded profile_partition json json_out dump plan =
+    let module H = Chaos_harness in
+    let config =
+      {
+        H.default_config with
+        sites;
+        horizon;
+        guarded = not unguarded;
+        profile =
+          (match profile_partition with
+          | None -> H.default_config.H.profile
+          | Some r -> { H.default_config.H.profile with Netsim.Chaos.bisection_rate = r });
+      }
+    in
+    let seed_list = match seed with Some s -> [ s ] | None -> List.init seeds Fun.id in
+    match dump with
+    | Some path ->
+      let s = match seed_list with s :: _ -> s | [] -> 0 in
+      let p = H.plan_of_seed ~config ~seed:s () in
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc (Netsim.Chaos.to_string p));
+      Format.fprintf fmt "%d chaos events for seed %d written to %s@." (List.length p) s
+        path;
+      `Ok ()
+    | None ->
+      let verdicts = List.map (fun s -> H.run_seed ~config ?plan ~seed:s ()) seed_list in
+      if json then List.iter (fun v -> print_endline (H.verdict_json v)) verdicts
+      else List.iter (fun v -> Format.fprintf fmt "%a@." H.pp_verdict v) verdicts;
+      (match json_out with
+      | None -> ()
+      | Some path ->
+        Out_channel.with_open_bin path (fun oc ->
+            List.iter
+              (fun v ->
+                Out_channel.output_string oc (H.verdict_json v);
+                Out_channel.output_char oc '\n')
+              verdicts);
+        Format.fprintf fmt "%d verdicts written to %s@." (List.length verdicts) path);
+      if H.all_passed verdicts then `Ok ()
+      else
+        `Error
+          ( false,
+            Printf.sprintf "%d of %d seeds violated invariants"
+              (List.length (List.filter (fun v -> not (H.passed v)) verdicts))
+              (List.length verdicts) )
+  in
+  let open Cmdliner in
+  let seeds =
+    Arg.(value & opt int 10
+         & info [ "seeds" ] ~docv:"N" ~doc:"Run seeds 0..N-1 (ignored with $(b,--seed)).")
+  in
+  let seed =
+    Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"SEED" ~doc:"Run one seed.")
+  in
+  let sites = Arg.(value & opt int 10 & info [ "n"; "sites" ] ~doc:"Number of sites.") in
+  let horizon =
+    Arg.(value & opt float 300.0
+         & info [ "horizon" ] ~docv:"SECONDS" ~doc:"Chaos injection window (sim time).")
+  in
+  let unguarded =
+    Arg.(value & flag
+         & info [ "unguarded" ] ~doc:"Run journeys without rear guards (lossy baseline).")
+  in
+  let partition_rate =
+    Arg.(value & opt (some float) None
+         & info [ "partition-rate" ] ~docv:"RATE"
+             ~doc:"Override the profile's bisection (clean partition) rate per second.")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Print one JSON verdict per line.") in
+  let json_out =
+    Arg.(value & opt (some string) None
+         & info [ "json-out" ] ~docv:"FILE" ~doc:"Also write JSON verdicts to FILE.")
+  in
+  let dump =
+    Arg.(value & opt (some string) None
+         & info [ "dump" ] ~docv:"FILE"
+             ~doc:"Write the seed's generated chaos plan to FILE and exit (no run).")
+  in
+  let plan =
+    Arg.(value & opt (some Tacoma_cli.chaos_plan_conv) None
+         & info [ "plan" ] ~docv:"FILE"
+             ~doc:"Replay a stored chaos plan instead of generating one per seed.")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run the seeded chaos invariant harness: guarded journeys, bookings and cash \
+          purchases under deterministic partition/loss/crash/degradation schedules.  \
+          Exits non-zero if any invariant is violated.")
+    Term.(ret
+            (const run $ seeds $ seed $ sites $ horizon $ unguarded $ partition_rate $ json
+            $ json_out $ dump $ plan))
+
 (* --- demo: a traced journey ------------------------------------------------ *)
 
 let demo_cmd =
@@ -260,4 +356,7 @@ let () =
     Cmd.info "tacoma" ~version:"1.0.0"
       ~doc:"TACOMA mobile agents: experiments, agent runner, flight recorder and demos."
   in
-  exit (Cmd.eval (Cmd.group info [ exp_cmd; run_script_cmd; trace_cmd; metrics_cmd; demo_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ exp_cmd; run_script_cmd; trace_cmd; metrics_cmd; chaos_cmd; demo_cmd ]))

@@ -66,10 +66,18 @@ let services t =
   Hashtbl.fold (fun _ e acc -> if fresh t ~now e then e.service :: acc else acc) t.entries []
   |> List.sort_uniq compare
 
-let lookup t ~service ?policy () =
+let lookup t ~service ?(exclude = []) ?policy () =
   t.lookup_count <- t.lookup_count + 1;
   let pol = Option.value ~default:t.default_policy policy in
-  let choice = Policy.choose pol ~rng:t.rng ~rr_counter:t.rr_counter (candidates t ~service) in
+  let cands =
+    match exclude with
+    | [] -> candidates t ~service
+    | _ ->
+      List.filter
+        (fun c -> not (List.mem c.Policy.provider exclude))
+        (candidates t ~service)
+  in
+  let choice = Policy.choose pol ~rng:t.rng ~rr_counter:t.rr_counter cands in
   let m = Kernel.metrics t.kernel in
   (match choice with
   | Some c ->
@@ -111,14 +119,29 @@ let handle t bc =
   | "lookup" -> (
     match Briefcase.find_opt bc "SERVICE" with
     | None -> raise (Kernel.Agent_error "broker: lookup needs SERVICE")
-    | Some service -> (
+    | Some service ->
       let policy = Option.bind (Briefcase.find_opt bc "POLICY") Policy.of_string in
-      match lookup t ~service ?policy () with
+      let exclude =
+        match Briefcase.find_opt bc "EXCLUDE" with
+        | None | Some "" -> []
+        | Some s -> String.split_on_char ',' s
+      in
+      (match lookup t ~service ~exclude ?policy () with
       | Some c ->
         Briefcase.set bc "PROVIDER" c.Policy.provider;
         Briefcase.set bc "PROVIDER-HOST" c.Policy.host;
         Briefcase.set bc "STATUS" "ok"
-      | None -> Briefcase.set bc "STATUS" "no-provider"))
+      | None -> Briefcase.set bc "STATUS" "no-provider");
+      (* remote clients cannot see the in-place mutation a meet relies on:
+         when the lookup names a reply agent, ship the answer back *)
+      (match (Briefcase.find_opt bc "REPLY-HOST", Briefcase.find_opt bc "REPLY-AGENT") with
+      | Some host, Some agent -> (
+        match Kernel.site_named t.kernel host with
+        | None -> ()
+        | Some dst ->
+          Kernel.send_briefcase t.kernel ~src:t.bsite ~dst ~contact:agent
+            (Briefcase.copy bc))
+      | _ -> ()))
   | op -> raise (Kernel.Agent_error (Printf.sprintf "broker: unknown op %S" op))
 
 let install kernel ~site ~name ?(policy = Policy.Least_loaded) ?max_report_age () =

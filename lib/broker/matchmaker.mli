@@ -9,8 +9,13 @@
     Meet protocol, dispatched on the [OP] folder:
     - ["register"]: [PROVIDER], [SERVICE], [HOST], [CAPACITY]
     - ["report"]:   same folders plus [LOAD] (sent by load monitors)
-    - ["lookup"]:   [SERVICE] (and optionally [POLICY]); the broker answers
-      in [PROVIDER] and [PROVIDER-HOST], or [STATUS] = ["no-provider"]. *)
+    - ["lookup"]:   [SERVICE] (and optionally [POLICY], and [EXCLUDE] — a
+      comma-separated list of provider names to skip, used by clients
+      failing over from an unreachable provider); the broker answers in
+      [PROVIDER] and [PROVIDER-HOST], or [STATUS] = ["no-provider"].  When
+      the lookup briefcase names [REPLY-HOST]/[REPLY-AGENT], the answered
+      briefcase is additionally sent back there, so lookups also work
+      remotely (see {!Booking}). *)
 
 type t
 
@@ -36,8 +41,16 @@ val add_peer : t -> Netsim.Site.id * string -> unit
 val register_provider : t -> Provider.t -> unit
 (** Local-convenience registration (same effect as a ["register"] meet). *)
 
-val lookup : t -> service:string -> ?policy:Policy.t -> unit -> Policy.candidate option
-(** Direct query against this broker's current database. *)
+val lookup :
+  t ->
+  service:string ->
+  ?exclude:string list ->
+  ?policy:Policy.t ->
+  unit ->
+  Policy.candidate option
+(** Direct query against this broker's current database.  [exclude] names
+    providers to skip — a client that timed out on a provider retries the
+    lookup with it excluded. *)
 
 val candidates : t -> service:string -> Policy.candidate list
 

@@ -55,6 +55,20 @@ let cache_term =
   in
   Term.(const combine $ enabled $ budget)
 
+let chaos_plan_conv =
+  let parse path =
+    match In_channel.with_open_bin path In_channel.input_all with
+    | exception Sys_error e -> Error (`Msg e)
+    | contents -> (
+      match Netsim.Chaos.of_string contents with
+      | Ok plan -> Ok plan
+      | Error e -> Error (`Msg (Printf.sprintf "%s: %s" path e)))
+  in
+  let print ppf plan =
+    Format.fprintf ppf "<%d chaos events>" (List.length plan)
+  in
+  Cmdliner.Arg.conv ~docv:"PLAN" (parse, print)
+
 let apply_config ?transport ?cache (base : Kernel.config) =
   let base =
     match transport with None -> base | Some t -> { base with default_transport = t }

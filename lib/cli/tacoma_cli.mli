@@ -21,6 +21,11 @@ val cache_term : Tacoma_core.Kernel.cache_config option Cmdliner.Term.t
     {!Tacoma_core.Kernel.default_cache_config}; [--code-cache-budget BYTES]
     overrides the per-site LRU budget (and implies [--code-cache]). *)
 
+val chaos_plan_conv : Netsim.Chaos.plan Cmdliner.Arg.conv
+(** A chaos-plan file (the {!Netsim.Chaos.to_string} line format): the
+    argument is a path, parsed with {!Netsim.Chaos.of_string} so replay
+    errors name the offending line. *)
+
 val apply_config :
   ?transport:Tacoma_core.Kernel.transport ->
   ?cache:Tacoma_core.Kernel.cache_config ->

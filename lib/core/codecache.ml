@@ -3,6 +3,7 @@ type config = {
   request_bytes : int;
   reply_overhead_bytes : int;
   fetch_timeout : float;
+  fetch_attempts : int;
 }
 
 let default_config =
@@ -11,6 +12,7 @@ let default_config =
     request_bytes = 96;
     reply_overhead_bytes = 32;
     fetch_timeout = 10.0;
+    fetch_attempts = 2;
   }
 
 module Lru = Tacoma_util.Lru

@@ -26,12 +26,19 @@ type config = {
   reply_overhead_bytes : int;
       (** framing added to the code bytes on a fetch reply *)
   fetch_timeout : float;
-      (** seconds before a pending fetch gives up and the delayed
-          activation dies (class ["code-fetch"]) *)
+      (** seconds before a pending fetch attempt expires *)
+  fetch_attempts : int;
+      (** bounded retry: total request transmissions (each re-paying
+          [request_bytes] and waiting [fetch_timeout]) before the fetch is
+          abandoned and the delayed activation dies (class ["code-fetch"]).
+          1 means no retry.  Retries are counted under
+          [codecache.fetch_retries]; only the final failure counts under
+          [codecache.fetch_failures]. *)
 }
 
 val default_config : config
-(** 256 KiB budget, 96 B requests, 32 B reply framing, 10 s timeout. *)
+(** 256 KiB budget, 96 B requests, 32 B reply framing, 10 s timeout,
+    2 attempts. *)
 
 type t
 (** One cache per place.  Purely local bookkeeping: no RNG draws, no

@@ -29,6 +29,7 @@ type cache_config = Codecache.config = {
   request_bytes : int;
   reply_overhead_bytes : int;
   fetch_timeout : float;
+  fetch_attempts : int;
 }
 
 type config = {
@@ -87,6 +88,7 @@ type pending_fetch = {
   pf_digest : string;
   pf_span : Obs.Span.ctx;
   mutable pf_timer : Engine.timer option;
+  mutable pf_attempts : int;
 }
 
 type t = {
@@ -518,25 +520,43 @@ let begin_fetch t ~site ~src ~contact ~digest ~ccfg bc =
       pf_digest = digest;
       pf_span = span;
       pf_timer = None;
+      pf_attempts = 1;
     }
   in
   Hashtbl.replace t.pending_fetches fid pf;
   Obs.Metrics.incr (metrics t) "codecache.fetches";
-  add_cache_saved t (-ccfg.request_bytes);
-  transmit t ~src:site ~dst:src ~size:ccfg.request_bytes (Code_fetch { fid; digest });
-  pf.pf_timer <-
-    Some
-      (Net.schedule t.net ~after:ccfg.fetch_timeout (fun () ->
-           if Hashtbl.mem t.pending_fetches fid then begin
-             Hashtbl.remove t.pending_fetches fid;
-             Obs.Metrics.incr (metrics t) "codecache.fetch_failures";
-             end_fetch_span t pf ~error:"timeout" ();
-             if Net.site_up t.net site && t.places.(site).epoch = pf.pf_epoch then
-               run_hooks_death t ~cls:"code-fetch" ~site ~agent:contact
-                 ~reason:
-                   (Printf.sprintf "code fetch timed out (digest %s)"
-                      (String.sub digest 0 (min 12 (String.length digest))))
-           end))
+  let send_request () =
+    add_cache_saved t (-ccfg.request_bytes);
+    transmit t ~src:site ~dst:src ~size:ccfg.request_bytes (Code_fetch { fid; digest })
+  in
+  send_request ();
+  let rec arm () =
+    pf.pf_timer <-
+      Some
+        (Net.schedule t.net ~after:ccfg.fetch_timeout (fun () ->
+             if Hashtbl.mem t.pending_fetches fid then begin
+               let alive = Net.site_up t.net site && t.places.(site).epoch = pf.pf_epoch in
+               if alive && pf.pf_attempts < ccfg.fetch_attempts then begin
+                 (* bounded retry: the request or reply may have been lost to
+                    a partition or loss burst rather than a dead source *)
+                 pf.pf_attempts <- pf.pf_attempts + 1;
+                 Obs.Metrics.incr (metrics t) "codecache.fetch_retries";
+                 send_request ();
+                 arm ()
+               end
+               else begin
+                 Hashtbl.remove t.pending_fetches fid;
+                 Obs.Metrics.incr (metrics t) "codecache.fetch_failures";
+                 end_fetch_span t pf ~error:"timeout" ();
+                 if alive then
+                   run_hooks_death t ~cls:"code-fetch" ~site ~agent:contact
+                     ~reason:
+                       (Printf.sprintf "code fetch timed out (digest %s)"
+                          (String.sub digest 0 (min 12 (String.length digest))))
+               end
+             end))
+  in
+  arm ()
 
 (* Every migration lands here after deserialisation: resolve a code
    reference against this place's cache, or fall back to a fetch. *)

@@ -59,6 +59,7 @@ type cache_config = Codecache.config = {
   request_bytes : int;
   reply_overhead_bytes : int;
   fetch_timeout : float;
+  fetch_attempts : int;
 }
 (** Re-exported so callers configure the cache without importing
     {!Codecache}. *)

@@ -63,6 +63,13 @@ let all =
       print = E9_codecache.print_table;
     };
     {
+      id = "e10";
+      title = "availability under chaos: partitions, loss and degradation";
+      paper_claim =
+        "S5/S7: rear guards keep computations available across the full failure surface, not just crashes";
+      print = E10_chaos.print_table;
+    };
+    {
       id = "abl";
       title = "ablations: report staleness, guard tuning, horus group, code size";
       paper_claim = "design-choice probes behind E1/E5/E6/E7";

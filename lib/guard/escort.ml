@@ -30,10 +30,13 @@ type journey = {
   work : Kernel.ctx -> hop:int -> Briefcase.t -> unit;
   on_complete : (Briefcase.t -> unit) option;
   guards : (int, guard_state) Hashtbl.t; (* hop covered -> state *)
+  pre_released : (int, unit) Hashtbl.t; (* releases that beat their guard *)
   mutable completed : bool;
   mutable relaunches : int;
   mutable hops_done : int;
   mutable guards_installed : int;
+  mutable giveups : int;
+  mutable completion_attempts : int;
 }
 
 type stats = {
@@ -41,6 +44,8 @@ type stats = {
   relaunches : int;
   hops_done : int;
   guards_installed : int;
+  giveups : int;
+  duplicate_completions : int;
 }
 
 let stats (j : journey) : stats =
@@ -49,12 +54,15 @@ let stats (j : journey) : stats =
     relaunches = j.relaunches;
     hops_done = j.hops_done;
     guards_installed = j.guards_installed;
+    giveups = j.giveups;
+    duplicate_completions = max 0 (j.completion_attempts - 1);
   }
 
 let arrive_agent j = "escort-arrive:" ^ j.id
 let release_agent j = "escort-release:" ^ j.id
 let guard_agent j = "escort-guard:" ^ j.id
 let seen_folder = "ESCORT-SEEN"
+let done_folder = "ESCORT-DONE"
 let ckpt_folder = "ESCORT-CKPT"
 let ckpt_key j hop = Printf.sprintf "%s:%d" j.id hop
 
@@ -81,11 +89,16 @@ let migrate_hop j ~src ~hop bc =
 (* The rear guard: an activation at itinerary[hop-1] covering [hop].  It
    holds the post-work snapshot and resends it while unreleased. *)
 let run_guard j ctx ~hop snapshot =
-  let st = { released = false; attempts = 0 } in
+  let m = Kernel.metrics j.kernel in
+  (* a release may beat its own guard here: partition-delayed releases can
+     arrive while a durable guard is still being resurrected from disk.
+     Honouring the recorded release stops the resurrected guard from
+     relaunching a hop that already acknowledged. *)
+  let st = { released = Hashtbl.mem j.pre_released hop; attempts = 0 } in
+  if st.released then Obs.Metrics.incr m "guard.pre_releases";
   Hashtbl.replace j.guards hop st;
   j.guards_installed <- j.guards_installed + 1;
   Kernel.sleep ctx j.cfg.ack_timeout;
-  let m = Kernel.metrics j.kernel in
   let rec watch () =
     if (not st.released) && not j.completed then begin
       Obs.Metrics.incr m "guard.ack_timeouts";
@@ -108,25 +121,54 @@ let run_guard j ctx ~hop snapshot =
         Kernel.sleep ctx (j.cfg.retry_period *. float_of_int st.attempts);
         watch ()
       end
-      else Obs.Metrics.incr m "guard.giveups"
-      (* give up; the computation is lost unless another copy runs *)
+      else begin
+        Obs.Metrics.incr m "guard.giveups";
+        j.giveups <- j.giveups + 1
+        (* give up; the computation is lost unless another copy runs *)
+      end
     end
   in
   watch ()
 
-(* Arrival of the agent (original or relaunched) at itinerary[hop]. *)
+(* Arrival of the agent (original or relaunched) at itinerary[hop].
+
+   Two site-local records dedup duplicate arrivals (relaunch racing the
+   original or its ack):
+   - the volatile seen-record marks the hop as *started*: a crash clears it,
+     so a genuine relaunch after a crash redoes the hop;
+   - the flushed done-record marks the hop as *finished* (work done, next
+     guard installed, agent moved on): it survives a crash, so a relaunch
+     arriving after the site recovered cannot re-execute a finished hop —
+     instead the release is re-sent, which is exactly what the still-waiting
+     guard is missing when its release was partition-delayed or lost. *)
 let arrive j ctx bc =
   let hop = hop_of bc in
   let site = ctx.Kernel.site in
   let cab = Kernel.cabinet j.kernel site in
   let seen_key = Printf.sprintf "%s:%d" j.id hop in
-  if not (Cabinet.contains cab seen_folder seen_key) then begin
+  let m = Kernel.metrics j.kernel in
+  if Cabinet.contains cab done_folder seen_key then begin
+    Obs.Metrics.incr m "guard.releases_resent";
+    send_release j ~src:site ~hop
+  end
+  else if Cabinet.contains cab seen_folder seen_key then
+    (* started but not finished here: the original is still working at this
+       site, so the duplicate is dropped and the guard keeps covering *)
+    Obs.Metrics.incr m "guard.duplicate_arrivals"
+  else begin
     Cabinet.put cab seen_folder seen_key;
     j.work ctx ~hop bc;
     j.hops_done <- max j.hops_done hop;
+    let mark_done () =
+      Cabinet.put cab done_folder seen_key;
+      Cabinet.flush_folder cab done_folder
+    in
     let last = hop = Array.length j.itinerary - 1 in
     if last then begin
+      mark_done ();
       send_release j ~src:site ~hop;
+      j.completion_attempts <- j.completion_attempts + 1;
+      if j.completion_attempts > 1 then Obs.Metrics.incr m "guard.duplicate_completions";
       if not j.completed then begin
         j.completed <- true;
         match j.on_complete with None -> () | Some f -> f bc
@@ -152,7 +194,8 @@ let arrive j ctx bc =
       end;
       Kernel.launch j.kernel ~site ~contact:(guard_agent j) gbc;
       send_release j ~src:site ~hop;
-      migrate_hop j ~src:site ~hop:(hop + 1) bc
+      migrate_hop j ~src:site ~hop:(hop + 1) bc;
+      mark_done ()
     end
   end
 
@@ -160,7 +203,11 @@ let release j ctx bc =
   let hop = hop_of bc in
   (match Hashtbl.find_opt j.guards hop with
   | Some st -> st.released <- true
-  | None -> () (* guard already gone (or never installed: releases can race) *));
+  | None ->
+    (* guard already gone, or not yet (re)installed: remember the release so
+       a guard resurrected after this point starts out released instead of
+       relaunching a hop that already acknowledged *)
+    Hashtbl.replace j.pre_released hop ());
   if j.cfg.durable then begin
     let cab = Kernel.cabinet j.kernel ctx.Kernel.site in
     Cabinet.remove_kv cab ckpt_folder ~key:(ckpt_key j hop);
@@ -209,10 +256,13 @@ let guarded_journey kernel ?(config = default_config) ~id ~itinerary ~work ?on_c
       work;
       on_complete;
       guards = Hashtbl.create 8;
+      pre_released = Hashtbl.create 8;
       completed = false;
       relaunches = 0;
       hops_done = -1;
       guards_installed = 0;
+      giveups = 0;
+      completion_attempts = 0;
     }
   in
   register_agents j;
@@ -243,10 +293,13 @@ let unguarded_journey kernel ?(transport = Kernel.Tcp) ~id ~itinerary ~work ?on_
       work;
       on_complete;
       guards = Hashtbl.create 1;
+      pre_released = Hashtbl.create 1;
       completed = false;
       relaunches = 0;
       hops_done = -1;
       guards_installed = 0;
+      giveups = 0;
+      completion_attempts = 0;
     }
   in
   let arrive_name = arrive_agent j in
@@ -255,6 +308,7 @@ let unguarded_journey kernel ?(transport = Kernel.Tcp) ~id ~itinerary ~work ?on_
     j.work ctx ~hop bc;
     j.hops_done <- max j.hops_done hop;
     if hop = Array.length j.itinerary - 1 then begin
+      j.completion_attempts <- j.completion_attempts + 1;
       if not j.completed then begin
         j.completed <- true;
         match j.on_complete with None -> () | Some f -> f bc

@@ -18,12 +18,24 @@
     - if the release does not arrive in time, the guard relaunches the
       agent from its snapshot (redoing hop [k+1]), retrying with backoff up
       to a bound;
-    - duplicate arrivals (relaunch racing the original) are suppressed by a
-      site-local seen-record keyed by (journey, hop) — the record is
-      volatile, so a crash clears it and a genuine relaunch is accepted.
-      The paper's two hard cases are covered: {e cycles}, because the
-      seen-record and guards are keyed by hop index, not by site; and
-      {e fan-out}, because journeys compose (see {!fanout}).
+    - duplicate arrivals (relaunch racing the original or its ack) are
+      suppressed by two site-local records keyed by (journey, hop): a
+      {e volatile} seen-record marking the hop as started — a crash clears
+      it, so a genuine relaunch after a crash is accepted — and a
+      {e flushed} done-record marking it as finished, which survives
+      crashes.  A duplicate arriving at a site whose done-record covers the
+      hop re-sends the release instead of re-executing: a guard whose
+      release was partition-delayed or lost is thereby re-acknowledged the
+      first time it relaunches, and a finished hop is never redone.
+      Completion is deduplicated the same way ([on_complete] fires at most
+      once even under relaunch races; violations would surface in the
+      [guard.duplicate_completions] metric and {!stats}).  Releases that
+      arrive {e before} their guard (possible when a durable guard is being
+      resurrected while a delayed release is in flight) are remembered and
+      honoured at installation.  The paper's two hard cases are covered:
+      {e cycles}, because the records and guards are keyed by hop index,
+      not by site; and {e fan-out}, because journeys compose (see
+      {!fanout}).
 
     Known window (the paper calls the details "complex"): if [sk] crashes
     after releasing its predecessor and before [s(k+1)] finishes, the hop in
@@ -52,6 +64,10 @@ type stats = {
   relaunches : int;
   hops_done : int;       (** highest hop whose work finished *)
   guards_installed : int;
+  giveups : int;         (** guards that exhausted [max_relaunch] *)
+  duplicate_completions : int;
+      (** times the final hop's work ran beyond the first — 0 unless the
+          at-most-once machinery is broken (checked by the chaos harness) *)
 }
 
 val stats : journey -> stats

@@ -30,4 +30,21 @@ let poisson_plan ~rng ~sites ~rate ~mean_downtime ~until =
       sites
 
 let apply net plans =
-  List.iter (fun { site; at; downtime } -> crash_for net ~site ~at ~downtime) plans
+  List.iter
+    (fun { site; at; downtime } ->
+      ignore
+        (Engine.schedule_at (Net.engine net) ~at (fun () ->
+             (* explicit idempotence: a crash aimed at a site that is already
+                down is skipped together with its paired restart, so it cannot
+                cut short the downtime of the fault that got there first *)
+             if Net.site_up net site then begin
+               Net.crash net site;
+               ignore
+                 (Engine.schedule (Net.engine net) ~after:downtime (fun () ->
+                      Net.restart net site))
+             end
+             else
+               Obs.Metrics.incr (Net.metrics net)
+                 ~labels:[ ("site", string_of_int site) ]
+                 "fault.skipped_crashes")))
+    plans

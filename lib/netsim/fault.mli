@@ -24,3 +24,11 @@ val poisson_plan :
     plan can be inspected, stored and replayed against several networks. *)
 
 val apply : Net.t -> plan list -> unit
+(** Schedule every event of [plans] on the network's engine.  Idempotence
+    is explicit: when a crash event fires for a site that is {e already
+    down} (plans for the same site may overlap once several plans are
+    combined), the event is skipped — counted under the
+    [fault.skipped_crashes] metric — {e together with its paired restart},
+    so an overlapping fault cannot cut short the downtime of the fault that
+    crashed the site first.  Within a single {!poisson_plan} no two events
+    of one site overlap, so applying one plan never skips. *)

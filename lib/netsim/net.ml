@@ -18,6 +18,10 @@ type t = {
   metrics : Obs.Metrics.t;
   site_states : site_state array;
   disabled_links : (int * int, unit) Hashtbl.t;
+  link_loss : (int * int, float) Hashtbl.t; (* chaos: extra per-link loss *)
+  link_degrade : (int * int, float * float) Hashtbl.t;
+      (* chaos: (latency multiplier, bandwidth multiplier) per link *)
+  mutable loss_override : float option; (* chaos: window replacing loss_rate *)
   link_busy_until : (int * int, float) Hashtbl.t; (* FIFO serialisation per link *)
   mutable generation : int; (* bumped on any reachability change *)
   route_cache : (int, (float * int list) option array * int) Hashtbl.t;
@@ -41,6 +45,9 @@ let create ?(seed = 42L) ?(trace = false) ?(loss_rate = 0.0) topo =
       Array.init n (fun _ ->
           { up = true; handlers = []; crash_hooks = []; restart_hooks = [] });
     disabled_links = Hashtbl.create 8;
+    link_loss = Hashtbl.create 8;
+    link_degrade = Hashtbl.create 8;
+    loss_override = None;
     link_busy_until = Hashtbl.create 64;
     generation = 0;
     route_cache = Hashtbl.create 16;
@@ -74,6 +81,19 @@ let key a b = if a < b then (a, b) else (b, a)
 
 let link_enabled t a b = not (Hashtbl.mem t.disabled_links (key a b))
 
+(* Chaos degradation windows scale a link's parameters without touching the
+   topology itself: latency is multiplied, bandwidth is multiplied (a factor
+   below 1.0 slows the link down). *)
+let effective_latency t a b (l : Topology.link) =
+  match Hashtbl.find_opt t.link_degrade (key a b) with
+  | None -> l.latency
+  | Some (lm, _) -> l.latency *. lm
+
+let effective_bandwidth t a b (l : Topology.link) =
+  match Hashtbl.find_opt t.link_degrade (key a b) with
+  | None -> l.bandwidth
+  | Some (_, bm) -> l.bandwidth *. bm
+
 (* Dijkstra over latency, skipping disabled links.  A down site may be
    reached (it can be a message destination — liveness is re-checked at
    delivery time so in-flight messages race with crashes as on a real
@@ -100,7 +120,7 @@ let dijkstra t src =
                 match Topology.link t.topo u v with
                 | None -> ()
                 | Some l ->
-                  let nd = d +. l.latency in
+                  let nd = d +. effective_latency t u v l in
                   if nd < dist.(v) then begin
                     dist.(v) <- nd;
                     prev.(v) <- u;
@@ -144,7 +164,11 @@ let path_delay t ~size src path =
         | Some l -> l
         | None -> assert false
       in
-      go (acc +. l.latency +. (float_of_int size /. l.bandwidth)) hop rest
+      go
+        (acc
+        +. effective_latency t prev_site hop l
+        +. (float_of_int size /. effective_bandwidth t prev_site hop l))
+        hop rest
   in
   go 0.0 src path
 
@@ -173,11 +197,56 @@ let reserve_path t ~size src path =
       Obs.Metrics.observe t.metrics
         ~labels:[ ("link", link_label prev_site hop) ]
         "net.link.wait_s" (start_tx -. arrival);
-      let tx_done = start_tx +. (float_of_int size /. l.bandwidth) in
+      let tx_done = start_tx +. (float_of_int size /. effective_bandwidth t prev_site hop l) in
       Hashtbl.replace t.link_busy_until k tx_done;
-      go (tx_done +. l.latency) hop rest
+      go (tx_done +. effective_latency t prev_site hop l) hop rest
   in
   go now src path
+
+(* The probability that a message following [path] is lost.  With no chaos
+   overrides this is exactly [loss_rate]; a global override window replaces
+   it, and per-link elevations compound along the route (independent loss on
+   every crossed link). *)
+let path_loss_prob t src path =
+  let base = match t.loss_override with Some r -> r | None -> t.loss_rate in
+  if Hashtbl.length t.link_loss = 0 then base
+  else begin
+    let survive = ref (1.0 -. base) in
+    let prev = ref src in
+    List.iter
+      (fun hop ->
+        (match Hashtbl.find_opt t.link_loss (key !prev hop) with
+        | Some r -> survive := !survive *. (1.0 -. r)
+        | None -> ());
+        prev := hop)
+      path;
+    1.0 -. !survive
+  end
+
+(* When a route lookup fails, distinguish an administrative partition from
+   genuine unreachability: rerun reachability ignoring disabled links (down
+   sites still do not forward).  If the destination would be reachable, the
+   drop is attributable to the partition. *)
+let reachable_ignoring_partition t src dst =
+  let n = Topology.site_count t.topo in
+  let visited = Array.make n false in
+  let q = Queue.create () in
+  visited.(src) <- true;
+  Queue.add src q;
+  let found = ref false in
+  while (not !found) && not (Queue.is_empty q) do
+    let u = Queue.take q in
+    if u = dst then found := true
+    else if (state t u).up || u = src then
+      List.iter
+        (fun v ->
+          if not visited.(v) then begin
+            visited.(v) <- true;
+            Queue.add v q
+          end)
+        (Topology.neighbors t.topo u)
+  done;
+  !found
 
 let delivery_delay t src dst ~size =
   if src = dst then Some local_delivery_delay
@@ -229,12 +298,17 @@ let send t ~src ~dst ~size payload =
     else
       match route t src dst with
       | None ->
+        let reason =
+          if Hashtbl.length t.disabled_links > 0 && reachable_ignoring_partition t src dst then
+            "partition"
+          else "no-route"
+        in
         Netstats.record_drop t.stats;
-        Obs.Metrics.incr t.metrics ~labels:[ ("reason", "no-route") ] "net.drops";
+        Obs.Metrics.incr t.metrics ~labels:[ ("reason", reason) ] "net.drops";
         if Obs.Tracer.enabled tr then
           Obs.Tracer.instant tr ~time:(now t) ~cat:"net" ~site:src
-            ~msg:(Printf.sprintf "no route site-%d -> site-%d (%d bytes)" src dst size)
-            ~attrs:[ ("reason", Obs.Event.S "no-route"); ("dst", Obs.Event.I dst) ]
+            ~msg:(Printf.sprintf "%s site-%d -> site-%d (%d bytes)" reason src dst size)
+            ~attrs:[ ("reason", Obs.Event.S reason); ("dst", Obs.Event.I dst) ]
             "net.drop"
       | Some path ->
         let hops = List.length path in
@@ -261,7 +335,8 @@ let send t ~src ~dst ~size payload =
               ]
             "net.send";
         let arrival = reserve_path t ~size src path in
-        if t.loss_rate > 0.0 && Rng.float t.loss_rng < t.loss_rate then begin
+        let loss_prob = path_loss_prob t src path in
+        if loss_prob > 0.0 && Rng.float t.loss_rng < loss_prob then begin
           (* lost in transit: the bytes were spent, nothing arrives *)
           ignore
             (Engine.schedule_at t.engine ~at:arrival (fun () ->
@@ -323,6 +398,44 @@ let set_link_enabled t a b enabled =
     if enabled then Hashtbl.remove t.disabled_links k else Hashtbl.replace t.disabled_links k ();
     t.generation <- t.generation + 1
   end
+
+let require_link t a b what =
+  match Topology.link t.topo a b with
+  | None -> invalid_arg (what ^ ": no such link")
+  | Some _ -> ()
+
+let set_link_loss t a b rate =
+  require_link t a b "Net.set_link_loss";
+  match rate with
+  | None -> Hashtbl.remove t.link_loss (key a b)
+  | Some r ->
+    if r < 0.0 || r >= 1.0 then invalid_arg "Net.set_link_loss: rate must be in [0,1)";
+    Hashtbl.replace t.link_loss (key a b) r
+
+let link_loss t a b = Hashtbl.find_opt t.link_loss (key a b)
+
+let set_loss_override t rate =
+  (match rate with
+  | Some r when r < 0.0 || r >= 1.0 ->
+    invalid_arg "Net.set_loss_override: rate must be in [0,1)"
+  | Some _ | None -> ());
+  t.loss_override <- rate
+
+let loss_override t = t.loss_override
+
+let set_link_degraded t a b factors =
+  require_link t a b "Net.set_link_degraded";
+  let k = key a b in
+  (match factors with
+  | None -> Hashtbl.remove t.link_degrade k
+  | Some (lm, bm) ->
+    if lm <= 0.0 || bm <= 0.0 then
+      invalid_arg "Net.set_link_degraded: factors must be positive";
+    Hashtbl.replace t.link_degrade k (lm, bm));
+  (* degraded latency changes lowest-latency routes *)
+  t.generation <- t.generation + 1
+
+let link_degraded t a b = Hashtbl.find_opt t.link_degrade (key a b)
 
 let run ?until t = Engine.run ?until t.engine
 let schedule t ~after f = Engine.schedule t.engine ~after f

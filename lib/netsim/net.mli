@@ -71,7 +71,42 @@ val on_crash : t -> Site.id -> (unit -> unit) -> unit
 val on_restart : t -> Site.id -> (unit -> unit) -> unit
 
 val set_link_enabled : t -> Site.id -> Site.id -> bool -> unit
-(** Disable/enable a link, modelling partitions. *)
+(** Disable/enable a link, modelling partitions.  Messages whose only routes
+    crossed disabled links are dropped under reason ["partition"] in the
+    metrics registry (vs ["no-route"] for genuine unreachability,
+    ["site-down"] for a dead destination and ["loss"] for random loss).
+    @raise Invalid_argument if the topology has no such link. *)
+
+val link_enabled : t -> Site.id -> Site.id -> bool
+
+(** {1 Chaos hooks}
+
+    Deterministic degraded-network windows, driven by {!Chaos} plans but
+    usable directly.  All of them are orthogonal to the topology: clearing
+    them restores the pristine link parameters. *)
+
+val set_link_loss : t -> Site.id -> Site.id -> float option -> unit
+(** Extra loss probability applied to every message crossing this link, on
+    top of the net-wide rate; [None] clears it.  Losses on distinct links
+    compound independently along a route.
+    @raise Invalid_argument on a rate outside [0,1) or a missing link. *)
+
+val link_loss : t -> Site.id -> Site.id -> float option
+
+val set_loss_override : t -> float option -> unit
+(** Temporarily replace the net-wide [loss_rate] (a global loss burst);
+    [None] restores the rate given at creation. *)
+
+val loss_override : t -> float option
+
+val set_link_degraded : t -> Site.id -> Site.id -> (float * float) option -> unit
+(** [(latency_mult, bandwidth_mult)] scaling the link's parameters for
+    routing, serialisation and propagation — e.g. [(10., 0.1)] makes a link
+    ten times slower both ways.  Degradation changes lowest-latency routes,
+    so in-flight route caches are invalidated.  [None] restores the link.
+    @raise Invalid_argument on non-positive factors or a missing link. *)
+
+val link_degraded : t -> Site.id -> Site.id -> (float * float) option
 
 (** {1 Convenience} *)
 

@@ -12,6 +12,7 @@ module Net = Netsim.Net
 module Topology = Netsim.Topology
 module Netstats = Netsim.Netstats
 module Fault = Netsim.Fault
+module Chaos = Netsim.Chaos
 
 let check = Alcotest.check
 
@@ -142,6 +143,49 @@ let test_guard_relaunch_refetches () =
   check Alcotest.bool "every resolution fell back to a fetch" true (misses >= 3);
   check Alcotest.int "fetches match misses" misses fetches
 
+(* --- fetch retry under partitions --- *)
+
+let retry_config =
+  { Kernel.default_config with
+    cache = Some { Kernel.default_cache_config with fetch_timeout = 0.5 } }
+
+let test_fetch_retry_through_partition () =
+  (* the miss-path fetch request is dropped by a partition that opens just
+     after the migration is sent; the bounded retry re-asks once the cut
+     heals, so the held activation still runs *)
+  let net, k = mk ~config:retry_config (Topology.line 2) in
+  Chaos.apply net
+    [ Chaos.Cut { links = [ (0, 1) ]; at = 0.001; duration = 0.3; label = "req" } ];
+  send_agent k;
+  Net.run ~until:20.0 net;
+  let m = Net.metrics net in
+  check Alcotest.int "one bounded retry" 1
+    (Obs.Metrics.counter_total m "codecache.fetch_retries");
+  check Alcotest.int "no fetch failure" 0
+    (Obs.Metrics.counter_total m "codecache.fetch_failures");
+  check Alcotest.int "held activation ran after the retry" 0 (Kernel.deaths k);
+  let _, misses, fetches = counters net in
+  check Alcotest.int "single miss" 1 misses;
+  check Alcotest.int "single fetch round" 1 fetches
+
+let test_fetch_exhaustion_is_code_fetch_death () =
+  (* a partition outlasting every attempt: the fetch is abandoned and the
+     loss is surfaced as a death of class "code-fetch" (which rear guards
+     recover like any lost hop), not a hang *)
+  let net, k = mk ~config:retry_config (Topology.line 2) in
+  Chaos.apply net
+    [ Chaos.Cut { links = [ (0, 1) ]; at = 0.001; duration = 5.0; label = "all" } ];
+  send_agent k;
+  Net.run ~until:20.0 net;
+  let m = Net.metrics net in
+  check Alcotest.int "retried before giving up" 1
+    (Obs.Metrics.counter_total m "codecache.fetch_retries");
+  check Alcotest.int "failure counted once" 1
+    (Obs.Metrics.counter_total m "codecache.fetch_failures");
+  check Alcotest.int "death carries the code-fetch class" 1
+    (Obs.Metrics.counter m ~labels:[ ("class", "code-fetch") ] "kernel.deaths");
+  check Alcotest.int "one death total" 1 (Kernel.deaths k)
+
 (* --- determinism --- *)
 
 let journey_stats ~cache () =
@@ -186,6 +230,10 @@ let () =
           Alcotest.test_case "miss then hit" `Quick test_miss_then_hit;
           Alcotest.test_case "crash clears cache" `Quick test_crash_clears_cache_and_refetches;
           Alcotest.test_case "guard relaunch refetches" `Quick test_guard_relaunch_refetches;
+          Alcotest.test_case "fetch retry through partition" `Quick
+            test_fetch_retry_through_partition;
+          Alcotest.test_case "fetch exhaustion is a code-fetch death" `Quick
+            test_fetch_exhaustion_is_code_fetch_death;
         ] );
       ( "determinism",
         [ Alcotest.test_case "same-seed replay" `Quick test_replay_deterministic ] );

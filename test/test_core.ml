@@ -450,6 +450,30 @@ let test_horus_survives_lossy_network () =
   Alcotest.(check bool) "tcp loses some" true (tcp < 40);
   Alcotest.(check bool) "tcp delivers some" true (tcp > 10)
 
+let test_horus_delayed_ack_no_double_delivery () =
+  (* a degraded link delays the ack far past the rto: horus retransmits the
+     migration several times, the receiver's mid table suppresses every
+     duplicate (while still acking it), and the agent activates exactly once *)
+  let config =
+    { Kernel.default_config with
+      default_transport = Kernel.Horus;
+      horus = { Kernel.default_config.horus with rto = 0.5; max_attempts = 10 } }
+  in
+  let net, k = mk_kernel ~config ~topo:(Topology.line 2) () in
+  Net.set_link_degraded net 0 1 (Some (400.0, 1.0));
+  let arrived = ref 0 in
+  Kernel.register_native k "counter" (fun _ _ -> incr arrived);
+  let bc = Briefcase.create () in
+  Briefcase.set bc Briefcase.host_folder "line-1";
+  Briefcase.set bc Briefcase.contact_folder "counter";
+  Kernel.launch k ~site:0 ~contact:"rexec" bc;
+  Net.run ~until:60.0 net;
+  check Alcotest.int "agent activated exactly once" 1 !arrived;
+  Alcotest.(check bool) "slow ack forced retransmissions" true
+    (Obs.Metrics.counter (Kernel.metrics k) "horus.retransmits" >= 1);
+  check Alcotest.int "no horus giveup" 0
+    (Obs.Metrics.counter (Kernel.metrics k) "horus.giveups")
+
 let test_tcp_loses_migration_to_down_site () =
   let config = { Kernel.default_config with default_transport = Kernel.Tcp } in
   let net, k = mk_kernel ~config ~topo:(Topology.line 2) () in
@@ -936,6 +960,8 @@ let () =
           Alcotest.test_case "horus retransmission" `Quick test_horus_retransmits_through_downtime;
           Alcotest.test_case "tcp drops to down site" `Quick test_tcp_loses_migration_to_down_site;
           Alcotest.test_case "horus survives lossy links" `Quick test_horus_survives_lossy_network;
+          Alcotest.test_case "horus delayed ack dedup" `Quick
+            test_horus_delayed_ack_no_double_delivery;
         ] );
       ( "horus-group-mode",
         [

@@ -11,6 +11,7 @@ module E6 = Experiments.E6_guards
 module E7 = Experiments.E7_transports
 module E8 = Experiments.E8_apps
 module E9 = Experiments.E9_codecache
+module E10 = Experiments.E10_chaos
 
 let check = Alcotest.check
 
@@ -229,11 +230,26 @@ let test_e9_shape () =
   let ring_warm = find "ring-8" "tcp" true in
   Alcotest.(check bool) "first visits miss" true (ring_warm.E9.misses >= ring_warm.E9.hits)
 
+let test_e10_shape () =
+  (* calm vs stormy cell: guards must not lose availability as partitions
+     arrive, while the unguarded baseline must pay for them *)
+  let rows = E10.run ~params:{ E10.seeds = 4; rates = [ 0.0; 0.05 ] } () in
+  let calm = List.find (fun r -> r.E10.partition_rate = 0.0) rows in
+  let stormy = List.find (fun r -> r.E10.partition_rate = 0.05) rows in
+  Alcotest.(check bool) "guarded stays available under partitions" true
+    (stormy.E10.guarded_frac >= 0.85);
+  Alcotest.(check bool) "unguarded degrades" true
+    (stormy.E10.unguarded_frac < calm.E10.unguarded_frac);
+  Alcotest.(check bool) "guards beat the baseline when it matters" true
+    (stormy.E10.guarded_frac > stormy.E10.unguarded_frac);
+  Alcotest.(check bool) "availability is bought with relaunches" true
+    (stormy.E10.mean_relaunches > calm.E10.mean_relaunches)
+
 let test_registry_complete () =
-  check Alcotest.int "nine experiments + ablations" 10 (List.length Experiments.Registry.all);
+  check Alcotest.int "ten experiments + ablations" 11 (List.length Experiments.Registry.all);
   List.iteri
     (fun i e ->
-      if i < 9 then
+      if i < 10 then
         check Alcotest.string "ids in order" (Printf.sprintf "e%d" (i + 1))
           e.Experiments.Registry.id)
     Experiments.Registry.all;
@@ -295,6 +311,7 @@ let () =
           Alcotest.test_case "e8 stormcast" `Slow test_e8_shape;
           Alcotest.test_case "e8c detection latency" `Slow test_e8c_shape;
           Alcotest.test_case "e9 code cache" `Slow test_e9_shape;
+          Alcotest.test_case "e10 chaos availability" `Slow test_e10_shape;
         ] );
       ( "ablations",
         [

@@ -10,6 +10,7 @@ module Folder = Tacoma_core.Folder
 module Net = Netsim.Net
 module Topology = Netsim.Topology
 module Fault = Netsim.Fault
+module Chaos = Netsim.Chaos
 
 let check = Alcotest.check
 
@@ -238,6 +239,59 @@ let test_durable_checkpoint_removed_on_release () =
   Net.run ~until:100.0 net;
   check Alcotest.int "no ghost relaunches after restart" 0 (Escort.stats j).Escort.relaunches
 
+let test_journey_straddles_healed_partition () =
+  (* line 0-1-2-3: cutting (1,2) bisects the net exactly when the agent
+     tries to hop across; migrations drop with the distinct "partition"
+     reason and the rear guard retries until the cut heals *)
+  let net = Net.create ~seed:11L (Topology.line 4) in
+  let k = Kernel.create net in
+  Chaos.apply net [ Chaos.Cut { links = [ (1, 2) ]; at = 3.5; duration = 8.0; label = "mid" } ];
+  let j =
+    Escort.guarded_journey k ~config:fast_config ~id:"straddle" ~itinerary:[ 0; 1; 2; 3 ]
+      ~work:(fun ctx ~hop:_ _ -> Kernel.sleep ctx 2.0)
+      (Briefcase.create ())
+  in
+  Net.run ~until:120.0 net;
+  let s = Escort.stats j in
+  Alcotest.(check bool) "completed across the healed partition" true s.Escort.completed;
+  Alcotest.(check bool) "guard retried through the cut" true (s.Escort.relaunches >= 1);
+  Alcotest.(check bool) "drops carry the partition reason" true
+    (Obs.Metrics.counter (Net.metrics net) ~labels:[ ("reason", "partition") ] "net.drops"
+    >= 1);
+  check Alcotest.int "no duplicate completions" 0 s.Escort.duplicate_completions
+
+let test_partition_delayed_release_resent () =
+  (* hop 1's release is dropped by a short partition between site 1 and its
+     guard at site 0; once the cut heals, the guard's relaunch reaches site 1,
+     finds the flushed done-record and re-sends the release instead of
+     re-running the finished hop — so the hop still executes exactly once *)
+  let net = Net.create ~seed:12L (Topology.line 3) in
+  let k = Kernel.create net in
+  Chaos.apply net [ Chaos.Cut { links = [ (0, 1) ]; at = 0.9; duration = 1.2; label = "rel" } ];
+  let completions = ref 0 in
+  let hop1_runs = ref 0 in
+  let j =
+    Escort.guarded_journey k ~config:fast_config ~id:"resend" ~itinerary:[ 0; 1; 2 ]
+      ~work:(fun ctx ~hop _ ->
+        if hop = 1 then begin
+          incr hop1_runs;
+          Kernel.sleep ctx 1.0
+        end;
+        if hop = 2 then Kernel.sleep ctx 10.0)
+      ~on_complete:(fun _ -> incr completions)
+      (Briefcase.create ())
+  in
+  Net.run ~until:120.0 net;
+  let s = Escort.stats j in
+  Alcotest.(check bool) "completed" true s.Escort.completed;
+  check Alcotest.int "on_complete exactly once" 1 !completions;
+  check Alcotest.int "hop 1 executed once despite the relaunch" 1 !hop1_runs;
+  check Alcotest.int "no duplicate completions" 0 s.Escort.duplicate_completions;
+  Alcotest.(check bool) "guard relaunched while the release was lost" true
+    (s.Escort.relaunches >= 1);
+  Alcotest.(check bool) "release re-sent from the done-record" true
+    (Obs.Metrics.counter (Kernel.metrics k) "guard.releases_resent" >= 1)
+
 let test_duplicate_id_rejected () =
   let _, k = mk () in
   let work _ ~hop:_ _ = () in
@@ -290,6 +344,13 @@ let () =
           Alcotest.test_case "cycle with crash" `Quick test_cycle_with_crash;
           Alcotest.test_case "fan-out" `Quick test_fanout_all_branches;
           Alcotest.test_case "fan-out with crash" `Quick test_fanout_with_crash_still_completes;
+        ] );
+      ( "partitions",
+        [
+          Alcotest.test_case "journey straddles healed partition" `Quick
+            test_journey_straddles_healed_partition;
+          Alcotest.test_case "partition-delayed release re-sent" `Quick
+            test_partition_delayed_release_resent;
         ] );
       ( "durable-guards",
         [

@@ -426,6 +426,100 @@ let test_route_cache_invalidated_by_restart () =
   Net.restart net 1;
   check Alcotest.(option (list int)) "short path restored" (Some [ 1; 3 ]) (Net.route net 0 3)
 
+(* --- chaos hooks: partition reasons, per-link loss, degradation --- *)
+
+let drop_count net reason =
+  Obs.Metrics.counter (Net.metrics net) ~labels:[ ("reason", reason) ] "net.drops"
+
+let test_partition_drop_reason () =
+  (* a cut link is a partition (the sites are alive); a down intermediate
+     with every link enabled is plain no-route *)
+  let net = mk_net (Topology.line 3) in
+  Net.set_link_enabled net 1 2 false;
+  Net.send net ~src:0 ~dst:2 ~size:10 (Message.Ping "x");
+  Net.run net;
+  check Alcotest.int "partition reason" 1 (drop_count net "partition");
+  Net.set_link_enabled net 1 2 true;
+  Net.crash net 1;
+  Net.send net ~src:0 ~dst:2 ~size:10 (Message.Ping "x");
+  Net.run net;
+  check Alcotest.int "no-route reason" 1 (drop_count net "no-route");
+  check Alcotest.int "still one partition drop" 1 (drop_count net "partition")
+
+let test_partition_invalidates_route_cache () =
+  (* a route cached before the cut must not carry messages across the
+     disabled link; healing restores delivery *)
+  let net = mk_net (Topology.line 3) in
+  let got = ref 0 in
+  Net.set_handler net 2 ~key:"t" (fun _ -> incr got);
+  Net.send net ~src:0 ~dst:2 ~size:10 (Message.Ping "warm");
+  Net.run net;
+  check Alcotest.int "warm route delivers" 1 !got;
+  Net.set_link_enabled net 1 2 false;
+  Net.send net ~src:0 ~dst:2 ~size:10 (Message.Ping "cut");
+  Net.run net;
+  check Alcotest.int "cached route not reused across cut" 1 !got;
+  check Alcotest.int "dropped as partition" 1 (drop_count net "partition");
+  Net.set_link_enabled net 1 2 true;
+  Net.send net ~src:0 ~dst:2 ~size:10 (Message.Ping "healed");
+  Net.run net;
+  check Alcotest.int "healed delivery" 2 !got
+
+let test_fault_apply_idempotent () =
+  (* two overlapping plans for one site: the second crash fires while the
+     site is already down and is skipped together with its paired restart,
+     so the first fault's downtime is not cut short *)
+  let net = mk_net (Topology.line 2) in
+  Fault.apply net
+    [
+      { Fault.site = 1; at = 1.0; downtime = 10.0 };
+      { Fault.site = 1; at = 2.0; downtime = 1.0 };
+    ];
+  Net.run ~until:5.0 net;
+  Alcotest.(check bool) "still down at t=5 (short restart skipped)" false
+    (Net.site_up net 1);
+  Net.run ~until:12.0 net;
+  Alcotest.(check bool) "up after the first fault's downtime" true (Net.site_up net 1);
+  check Alcotest.int "skip counted" 1
+    (Obs.Metrics.counter (Net.metrics net) ~labels:[ ("site", "1") ]
+       "fault.skipped_crashes")
+
+let test_link_loss_override () =
+  let net = Net.create ~seed:9L (Topology.line 2) in
+  Net.set_link_loss net 0 1 (Some 0.999);
+  let got = ref 0 in
+  Net.set_handler net 1 ~key:"t" (fun _ -> incr got);
+  for _ = 1 to 10 do
+    Net.send net ~src:0 ~dst:1 ~size:10 (Message.Ping "x")
+  done;
+  Net.run net;
+  check Alcotest.int "all lost under the override" 0 !got;
+  check Alcotest.int "loss reason" 10 (drop_count net "loss");
+  Net.set_link_loss net 0 1 None;
+  Net.send net ~src:0 ~dst:1 ~size:10 (Message.Ping "x");
+  Net.run net;
+  check Alcotest.int "restored" 1 !got;
+  Alcotest.check_raises "rate must be < 1"
+    (Invalid_argument "Net.set_link_loss: rate must be in [0,1)") (fun () ->
+      Net.set_link_loss net 0 1 (Some 1.0))
+
+let test_degradation_slows_and_reroutes () =
+  let t = Topology.create () in
+  let s = Array.init 3 (fun i -> Topology.add_site t ~name:(string_of_int i)) in
+  Topology.add_link t s.(0) s.(1) ~latency:0.005 ~bandwidth:1e6;
+  Topology.add_link t s.(0) s.(2) ~latency:0.004 ~bandwidth:1e6;
+  Topology.add_link t s.(2) s.(1) ~latency:0.004 ~bandwidth:1e6;
+  let net = mk_net t in
+  check Alcotest.(option (list int)) "direct link wins" (Some [ 1 ]) (Net.route net 0 1);
+  Net.set_link_degraded net 0 1 (Some (10.0, 1.0));
+  check Alcotest.(option (list int)) "reroutes around degraded link" (Some [ 2; 1 ])
+    (Net.route net 0 1);
+  Net.set_link_degraded net 0 1 None;
+  check Alcotest.(option (list int)) "restored" (Some [ 1 ]) (Net.route net 0 1);
+  Alcotest.check_raises "factors must be positive"
+    (Invalid_argument "Net.set_link_degraded: factors must be positive") (fun () ->
+      Net.set_link_degraded net 0 1 (Some (0.0, 1.0)))
+
 (* --- trace --- *)
 
 let test_trace_records () =
@@ -524,18 +618,25 @@ let () =
           Alcotest.test_case "partition blocks and heals" `Quick test_partition_blocks_and_heals;
           Alcotest.test_case "route cache invalidation" `Quick
             test_route_cache_invalidated_by_restart;
+          Alcotest.test_case "partition drop reason" `Quick test_partition_drop_reason;
+          Alcotest.test_case "cut invalidates cached routes" `Quick
+            test_partition_invalidates_route_cache;
         ] );
       ( "loss",
         [
           Alcotest.test_case "lossy statistics" `Quick test_lossy_link_statistics;
           Alcotest.test_case "zero by default" `Quick test_loss_zero_by_default;
           Alcotest.test_case "local immune" `Quick test_local_delivery_never_lost;
+          Alcotest.test_case "per-link loss override" `Quick test_link_loss_override;
+          Alcotest.test_case "degradation reroutes" `Quick
+            test_degradation_slows_and_reroutes;
         ] );
       ( "faults",
         [
           Alcotest.test_case "poisson bounds" `Quick test_poisson_plan_bounds;
           Alcotest.test_case "no per-site overlap" `Quick test_poisson_plan_no_overlap_per_site;
           Alcotest.test_case "apply plan" `Quick test_fault_apply;
+          Alcotest.test_case "apply is idempotent" `Quick test_fault_apply_idempotent;
           Alcotest.test_case "zero rate" `Quick test_zero_rate_plan_empty;
         ] );
       ( "trace",
