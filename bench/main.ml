@@ -241,8 +241,7 @@ let bench_cached_journey =
          Kernel.launch k ~site:0 ~contact:"hopper" bc;
          Net.run net))
 
-let tests =
-  Test.make_grouped ~name:"tacoma"
+let all_benches =
     [
       bench_briefcase_serialize;
       bench_briefcase_deserialize;
@@ -291,24 +290,12 @@ let write_json path rows =
   output_string oc "}\n";
   close_out oc
 
-let () =
-  (* --quick: one short sample per benchmark — a CI smoke run proving every
-     benchmarked path still executes, not a measurement *)
-  let quick = Array.exists (( = ) "--quick") Sys.argv in
-  let json_out =
-    let rec find = function
-      | "--json" :: path :: _ -> Some path
-      | _ :: rest -> find rest
-      | [] -> None
-    in
-    find (Array.to_list Sys.argv)
-  in
+(* run one group of tests to completion and return (name, ns/run) rows *)
+let measure cfg tests =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
   in
   let instances = Instance.[ monotonic_clock ] in
-  let quota = if quick then Time.millisecond 50. else Time.second 0.5 in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota ~kde:(Some 1000) () in
   let raw = Benchmark.all cfg instances tests in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let rows = ref [] in
@@ -318,7 +305,44 @@ let () =
       | Some [ est ] -> rows := (name, est) :: !rows
       | Some _ | None -> ())
     results;
-  let rows = List.sort compare !rows in
+  !rows
+
+let () =
+  (* --quick: one short sample per benchmark — a CI smoke run proving every
+     benchmarked path still executes, not a measurement *)
+  let quick = Array.exists (( = ) "--quick") Sys.argv in
+  let find_opt_arg key =
+    let rec find = function
+      | flag :: v :: _ when flag = key -> Some v
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find (Array.to_list Sys.argv)
+  in
+  let json_out = find_opt_arg "--json" in
+  (* --jobs N: one pool task per benchmark.  Each staged closure only
+     touches state built for that benchmark, so samples can run
+     concurrently; the result *structure* (names, row order after the sort)
+     is identical to serial — only the timings themselves feel the sharing
+     of cores, which is why CI measures with --jobs 1 and uses --jobs for
+     smoke runs. *)
+  let jobs =
+    match find_opt_arg "--jobs" with
+    | None -> 1
+    | Some v -> ( match int_of_string_opt v with Some n when n >= 0 -> n | _ -> 1)
+  in
+  let quota = if quick then Time.millisecond 50. else Time.second 0.5 in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota ~kde:(Some 1000) () in
+  let rows =
+    if jobs = 1 then measure cfg (Test.make_grouped ~name:"tacoma" all_benches)
+    else
+      Tacoma_util.Pool.with_pool ~jobs (fun pool ->
+          Tacoma_util.Pool.map pool
+            (fun bench -> measure cfg (Test.make_grouped ~name:"tacoma" [ bench ]))
+            all_benches)
+      |> List.concat
+  in
+  let rows = List.sort compare rows in
   Printf.printf "%-50s | %15s\n" "benchmark" "ns/run";
   Printf.printf "%s\n" (String.make 70 '-');
   List.iter (fun (name, est) -> Printf.printf "%-50s | %15.1f\n" name est) rows;

@@ -31,7 +31,7 @@ let launch_script k code =
 (* --- exp: regenerate experiment tables ------------------------------------ *)
 
 let exp_cmd =
-  let run ids =
+  let run jobs ids =
     match ids with
     | [] ->
       Format.fprintf fmt "Available experiments:@.";
@@ -42,7 +42,7 @@ let exp_cmd =
         Experiments.Registry.all;
       `Ok ()
     | [ "all" ] ->
-      Experiments.Registry.run_all fmt;
+      Experiments.Registry.run_all ~jobs fmt;
       `Ok ()
     | ids -> (
       match
@@ -50,19 +50,15 @@ let exp_cmd =
       with
       | Some bad -> `Error (false, Printf.sprintf "unknown experiment %S (try `tacoma exp')" bad)
       | None ->
-        List.iter
-          (fun id ->
-            match Experiments.Registry.find id with
-            | Some e -> e.Experiments.Registry.print fmt
-            | None -> ())
-          ids;
+        let entries = List.filter_map Experiments.Registry.find ids in
+        Experiments.Registry.run ~jobs entries fmt;
         `Ok ())
   in
   let open Cmdliner in
-  let ids = Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (e1..e9) or 'all'.") in
+  let ids = Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (e1..e10, abl) or 'all'.") in
   Cmd.v
     (Cmd.info "exp" ~doc:"Regenerate experiment tables (no arguments lists them).")
-    Term.(ret (const run $ ids))
+    Term.(ret (const run $ Tacoma_cli.jobs_term $ ids))
 
 (* --- run: execute a TScript agent on a simulated network ------------------- *)
 
@@ -196,7 +192,7 @@ let metrics_cmd =
 (* --- chaos: seeded invariant harness --------------------------------------- *)
 
 let chaos_cmd =
-  let run seeds seed sites horizon unguarded profile_partition json json_out dump plan =
+  let run seeds seed sites horizon unguarded profile_partition jobs json json_out dump plan =
     let module H = Chaos_harness in
     let config =
       {
@@ -221,7 +217,7 @@ let chaos_cmd =
         path;
       `Ok ()
     | None ->
-      let verdicts = List.map (fun s -> H.run_seed ~config ?plan ~seed:s ()) seed_list in
+      let verdicts = H.run_sweep ~config ?plan ~jobs ~seeds:seed_list () in
       if json then List.iter (fun v -> print_endline (H.verdict_json v)) verdicts
       else List.iter (fun v -> Format.fprintf fmt "%a@." H.pp_verdict v) verdicts;
       (match json_out with
@@ -286,8 +282,8 @@ let chaos_cmd =
           purchases under deterministic partition/loss/crash/degradation schedules.  \
           Exits non-zero if any invariant is violated.")
     Term.(ret
-            (const run $ seeds $ seed $ sites $ horizon $ unguarded $ partition_rate $ json
-            $ json_out $ dump $ plan))
+            (const run $ seeds $ seed $ sites $ horizon $ unguarded $ partition_rate
+            $ Tacoma_cli.jobs_term $ json $ json_out $ dump $ plan))
 
 (* --- demo: a traced journey ------------------------------------------------ *)
 

@@ -237,9 +237,10 @@ let run_client_server net ~field ~sensor_sites ~centre ~on_done =
         readings_moved = List.length readings;
       }
   in
+  let rpc = Baseline.Rpc.client net ~src:centre in
   List.iter
     (fun site ->
-      Baseline.Rpc.call net ~src:centre ~dst:site ~service:"stormcast" ~query:"all"
+      Baseline.Rpc.call rpc ~dst:site ~service:"stormcast" ~query:"all"
         ~on_reply:(fun rows ->
           collected := rows @ !collected;
           decr remaining;

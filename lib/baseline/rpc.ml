@@ -9,8 +9,15 @@ let response_overhead = 96
 
 type stats = { mutable requests : int; mutable response_bytes : int }
 
-let rid_counter = ref 0
-let pending : (int, string list -> unit) Hashtbl.t = Hashtbl.create 64
+(* All call state lives in the client handle — request ids and the pending
+   table are per-client, never process-wide, so concurrent simulations in a
+   pool sweep can't collide on rids or dispatch each other's callbacks. *)
+type client = {
+  net : Net.t;
+  src : Netsim.Site.id;
+  mutable next_rid : int;
+  pending : (int, string list -> unit) Hashtbl.t;
+}
 
 let data_bytes rows = List.fold_left (fun acc r -> acc + String.length r) 0 rows
 
@@ -27,22 +34,23 @@ let serve net ~site ~service handler =
       | Request _ | Response _ | _ -> ());
   stats
 
-let ensure_client net src =
+let client net ~src =
+  let c = { net; src; next_rid = 0; pending = Hashtbl.create 16 } in
   Net.set_handler net src ~key:"rpc-client" (fun msg ->
       match msg.Netsim.Message.payload with
       | Response { rid; data } -> (
-        match Hashtbl.find_opt pending rid with
+        match Hashtbl.find_opt c.pending rid with
         | Some k ->
-          Hashtbl.remove pending rid;
+          Hashtbl.remove c.pending rid;
           k data
         | None -> ())
-      | Request _ | _ -> ())
+      | Request _ | _ -> ());
+  c
 
-let call net ~src ~dst ~service ~query ~on_reply =
-  ensure_client net src;
-  incr rid_counter;
-  let rid = !rid_counter in
-  Hashtbl.replace pending rid on_reply;
-  Net.send net ~src ~dst
+let call c ~dst ~service ~query ~on_reply =
+  c.next_rid <- c.next_rid + 1;
+  let rid = c.next_rid in
+  Hashtbl.replace c.pending rid on_reply;
+  Net.send c.net ~src:c.src ~dst
     ~size:(request_overhead + String.length query)
-    (Request { rid; service; query; reply_to = src })
+    (Request { rid; service; query; reply_to = c.src })

@@ -18,9 +18,17 @@ val serve :
   stats
 (** Install a service handler.  Several services can share a site. *)
 
+type client
+(** A calling endpoint at one site.  Request ids and the pending-reply
+    table live in the handle — deliberately not module-global, so
+    simulations running concurrently on a {!Tacoma_util.Pool} never share
+    call state.  One client per (net, site): creating a second replaces
+    the first's reply handler. *)
+
+val client : Netsim.Net.t -> src:Netsim.Site.id -> client
+
 val call :
-  Netsim.Net.t ->
-  src:Netsim.Site.id ->
+  client ->
   dst:Netsim.Site.id ->
   service:string ->
   query:string ->

@@ -88,11 +88,11 @@ let install kernel ~site mint =
         | None -> raise (Kernel.Agent_error "validator_rpc: unknown REPLY-HOST"))
       | _ -> raise (Kernel.Agent_error "validator_rpc: missing reply address"))
 
-let reply_counter = ref 0
-
 let remote_validate kernel ~src ~bank ecus ~on_reply =
-  incr reply_counter;
-  let reply_agent = Printf.sprintf "cash-reply-%d" !reply_counter in
+  (* per-kernel ids: a process-wide counter would make the reply-agent name
+     (serialised into the briefcase, so part of the byte accounting) depend
+     on whatever other simulations ran first in this process *)
+  let reply_agent = Printf.sprintf "cash-reply-%d" (Kernel.fresh_id kernel) in
   let fired = ref false in
   Kernel.register_native kernel ~site:src reply_agent (fun _ bc ->
       if not !fired then begin

@@ -111,6 +111,7 @@ type t = {
   connections : (int * int, unit) Hashtbl.t;
   pending_acks : (int, ack_state) Hashtbl.t;
   mutable mid_counter : int;
+  mutable id_counter : int;
   rng : Rng.t;
   mutable stat_migrations : int;
   mutable stat_activations : int;
@@ -156,6 +157,10 @@ let trace t kind detail = Netsim.Trace.add (Net.trace t.net) ~time:(now t) kind 
 
 let recorder t = Net.recorder t.net
 let metrics t = Net.metrics t.net
+
+let fresh_id t =
+  t.id_counter <- t.id_counter + 1;
+  t.id_counter
 
 (* The span context an agent carries rides in the briefcase's system TRACE
    folder, so it survives serialisation and migration like any other state.
@@ -856,6 +861,7 @@ let create ?(config = default_config) net =
       connections = Hashtbl.create 32;
       pending_acks = Hashtbl.create 32;
       mid_counter = 1;
+      id_counter = 0;
       rng = Rng.split (Net.rng net);
       stat_migrations = 0;
       stat_activations = 0;

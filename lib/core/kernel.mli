@@ -117,6 +117,13 @@ val config : t -> config
 val now : t -> float
 val rng : t -> Tacoma_util.Rng.t
 
+val fresh_id : t -> int
+(** A per-kernel id fountain (1, 2, 3, …) for protocol-level unique names
+    (e.g. one-shot reply agents).  Deliberately {e not} a process-wide
+    counter: concurrent simulations in a {!Tacoma_util.Pool} sweep must
+    each see the same id sequence they would see alone, or generated names
+    (and thus message byte counts) would depend on scheduling. *)
+
 (** {1 Flight recorder}
 
     The kernel records into the network's shared recorder and metrics

@@ -82,7 +82,8 @@ let run_client_server p ~selectivity =
   let rows = dataset p ~selectivity in
   ignore (Baseline.Rpc.serve net ~site:data_site ~service:"scan" (fun ~query:_ -> rows));
   let finished = ref None in
-  Baseline.Rpc.call net ~src:client ~dst:data_site ~service:"scan" ~query:"HIT*"
+  let rpc = Baseline.Rpc.client net ~src:client in
+  Baseline.Rpc.call rpc ~dst:data_site ~service:"scan" ~query:"HIT*"
     ~on_reply:(fun received ->
       (* the client filters locally, after the raw transfer *)
       let matches = List.filter (fun r -> String.length r >= 3 && String.sub r 0 3 = "HIT") received in
@@ -123,7 +124,8 @@ let run_wan_cs p ~selectivity =
   let rows = dataset p ~selectivity in
   ignore (Baseline.Rpc.serve net ~site:wan_data ~service:"scan" (fun ~query:_ -> rows));
   let finished = ref None in
-  Baseline.Rpc.call net ~src:wan_client ~dst:wan_data ~service:"scan" ~query:"HIT*"
+  let rpc = Baseline.Rpc.client net ~src:wan_client in
+  Baseline.Rpc.call rpc ~dst:wan_data ~service:"scan" ~query:"HIT*"
     ~on_reply:(fun _ -> finished := Some (Net.now net));
   Net.run ~until:3600.0 net;
   match !finished with

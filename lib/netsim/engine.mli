@@ -10,7 +10,9 @@ type t
 type timer
 (** Handle for a scheduled event, used to cancel pending timeouts. *)
 
-val create : unit -> t
+val create : ?metrics:Obs.Metrics.t -> unit -> t
+(** [metrics], when given, receives the [engine.compactions] counter (see
+    {!compactions}). *)
 
 val now : t -> float
 (** Current simulated time in seconds. *)
@@ -30,8 +32,15 @@ val step : t -> bool
 (** Run the next event.  [false] if the queue was empty. *)
 
 val run : ?until:float -> t -> unit
-(** Drain the queue; with [until], stop once the next event lies beyond that
-    time (the clock is then advanced to [until]). *)
+(** Drain the queue; with [until], stop once the next {e live} event lies
+    beyond that time (the clock is then advanced to [until]).  Cancelled
+    entries at the head of the queue are discarded, never counted as the
+    next event. *)
 
 val pending : t -> int
 (** Number of not-yet-fired, not-cancelled events. *)
+
+val compactions : t -> int
+(** How many times the queue has been rebuilt to shed cancelled entries.
+    Compaction triggers when dead entries outnumber live ones (past a small
+    size floor) and never changes the firing order. *)

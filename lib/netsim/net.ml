@@ -32,15 +32,16 @@ let create ?(seed = 42L) ?(trace = false) ?(loss_rate = 0.0) topo =
   if loss_rate < 0.0 || loss_rate >= 1.0 then invalid_arg "Net.create: loss_rate must be in [0,1)";
   let n = Topology.site_count topo in
   let rng = Rng.create seed in
+  let metrics = Obs.Metrics.create () in
   {
-    engine = Engine.create ();
+    engine = Engine.create ~metrics ();
     topo;
     loss_rng = Rng.split rng;
     loss_rate;
     rng;
     stats = Netstats.create ();
     trace = Trace.create ~enabled:trace ();
-    metrics = Obs.Metrics.create ();
+    metrics;
     site_states =
       Array.init n (fun _ ->
           { up = true; handlers = []; crash_hooks = []; restart_hooks = [] });
@@ -78,6 +79,16 @@ let clear_handler t s ~key =
 let site_up t s = (state t s).up
 
 let key a b = if a < b then (a, b) else (b, a)
+
+(* Any reachability change invalidates every cached route at once.  Clear
+   the rows eagerly: stale-generation rows would otherwise sit in the table
+   until the same source happens to route again, so a long chaos run that
+   churns links grows the cache without bound. *)
+let bump_generation t =
+  t.generation <- t.generation + 1;
+  Hashtbl.reset t.route_cache
+
+let route_cache_size t = Hashtbl.length t.route_cache
 
 let link_enabled t a b = not (Hashtbl.mem t.disabled_links (key a b))
 
@@ -361,7 +372,7 @@ let crash t s =
   if st.up then begin
     st.up <- false;
     st.handlers <- [];
-    t.generation <- t.generation + 1;
+    bump_generation t;
     Obs.Metrics.incr t.metrics "net.crashes";
     Trace.add t.trace ~time:(now t) Trace.Crash (Printf.sprintf "site-%d" s);
     List.iter (fun hook -> hook ()) (List.rev st.crash_hooks)
@@ -371,7 +382,7 @@ let restart t s =
   let st = state t s in
   if not st.up then begin
     st.up <- true;
-    t.generation <- t.generation + 1;
+    bump_generation t;
     Obs.Metrics.incr t.metrics "net.restarts";
     Trace.add t.trace ~time:(now t) Trace.Restart (Printf.sprintf "site-%d" s);
     List.iter (fun hook -> hook ()) (List.rev st.restart_hooks)
@@ -396,7 +407,7 @@ let set_link_enabled t a b enabled =
   in
   if changed then begin
     if enabled then Hashtbl.remove t.disabled_links k else Hashtbl.replace t.disabled_links k ();
-    t.generation <- t.generation + 1
+    bump_generation t
   end
 
 let require_link t a b what =
@@ -433,7 +444,7 @@ let set_link_degraded t a b factors =
       invalid_arg "Net.set_link_degraded: factors must be positive";
     Hashtbl.replace t.link_degrade k (lm, bm));
   (* degraded latency changes lowest-latency routes *)
-  t.generation <- t.generation + 1
+  bump_generation t
 
 let link_degraded t a b = Hashtbl.find_opt t.link_degrade (key a b)
 

@@ -62,6 +62,12 @@ val delivery_delay : t -> Site.id -> Site.id -> size:int -> float option
 (** What [send] would charge right now on an idle network (contention from
     in-flight messages adds to this). *)
 
+val route_cache_size : t -> int
+(** Number of per-source rows currently in the route cache.  Bounded by the
+    site count: every reachability change (crash, restart, partition,
+    degradation) clears the cache eagerly rather than leaving stale rows to
+    be overwritten on re-lookup. *)
+
 (** {1 Failures} *)
 
 val site_up : t -> Site.id -> bool

@@ -21,6 +21,10 @@ and script = command_fn Ast.script
 and caches = {
   parsed : (string, script) Lru.t;
   exprs : (string, Expr.ast) Lru.t;
+  mutable next_uid : int;
+      (* uid fountain for the interpreters sharing this cache pair; lives
+         here (not in a global) so concurrent simulations — each with its
+         own caches — stay deterministic and race-free *)
 }
 
 and t = {
@@ -76,11 +80,11 @@ let default_cache_entries = 512
 
 let create_caches ?(parse_entries = default_cache_entries)
     ?(expr_entries = default_cache_entries) () =
-  { parsed = Lru.create ~budget:parse_entries (); exprs = Lru.create ~budget:expr_entries () }
-
-(* interpreter uids only need to be distinct among interpreters sharing a
-   cache; a process-wide counter is simplest *)
-let uid_counter = ref 0
+  {
+    parsed = Lru.create ~budget:parse_entries ();
+    exprs = Lru.create ~budget:expr_entries ();
+    next_uid = 0;
+  }
 
 (* ---- variables -------------------------------------------------------- *)
 
@@ -1294,10 +1298,10 @@ let create ?step_limit ?(max_depth = 256) ?caches () =
   let caches =
     match caches with Some c -> c | None -> create_caches ()
   in
-  incr uid_counter;
+  caches.next_uid <- caches.next_uid + 1;
   let t =
     {
-      uid = !uid_counter;
+      uid = caches.next_uid;
       cmd_epoch = 0;
       commands = Hashtbl.create 64;
       proc_bodies = Hashtbl.create 16;

@@ -34,7 +34,13 @@ exception Resource_exhausted
     be shared between interpreter instances: the kernel creates one per
     simulation and threads it through every per-activation interpreter, so
     an agent's loop condition is compiled once per site, not once per
-    activation.  Compiled ASTs are immutable, so sharing is safe. *)
+    activation.
+
+    Sharing is only safe {e within} one simulation.  A [caches] value is
+    mutable (LRU state, inline command caches, the interpreter-uid
+    fountain), so it must never be shared across simulations running
+    concurrently on a {!Tacoma_util.Pool} — each pool task creates its own
+    kernel and therefore its own cache pair. *)
 
 type caches
 

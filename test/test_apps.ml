@@ -21,7 +21,8 @@ let test_rpc_roundtrip () =
   ignore
     (Rpc.serve net ~site:2 ~service:"echo" (fun ~query -> [ query; String.uppercase_ascii query ]));
   let got = ref None in
-  Rpc.call net ~src:0 ~dst:2 ~service:"echo" ~query:"hej" ~on_reply:(fun rows ->
+  let c = Rpc.client net ~src:0 in
+  Rpc.call c ~dst:2 ~service:"echo" ~query:"hej" ~on_reply:(fun rows ->
       got := Some rows);
   Net.run net;
   check Alcotest.(option (list string)) "reply" (Some [ "hej"; "HEJ" ]) !got
@@ -31,15 +32,16 @@ let test_rpc_two_services_one_site () =
   ignore (Rpc.serve net ~site:1 ~service:"a" (fun ~query:_ -> [ "from-a" ]));
   ignore (Rpc.serve net ~site:1 ~service:"b" (fun ~query:_ -> [ "from-b" ]));
   let got = ref [] in
-  Rpc.call net ~src:0 ~dst:1 ~service:"a" ~query:"" ~on_reply:(fun r -> got := r @ !got);
-  Rpc.call net ~src:0 ~dst:1 ~service:"b" ~query:"" ~on_reply:(fun r -> got := r @ !got);
+  let c = Rpc.client net ~src:0 in
+  Rpc.call c ~dst:1 ~service:"a" ~query:"" ~on_reply:(fun r -> got := r @ !got);
+  Rpc.call c ~dst:1 ~service:"b" ~query:"" ~on_reply:(fun r -> got := r @ !got);
   Net.run net;
   check Alcotest.(list string) "both served" [ "from-a"; "from-b" ] (List.sort compare !got)
 
 let test_rpc_bytes_accounted () =
   let net = Net.create (Topology.line 2) in
   let stats = Rpc.serve net ~site:1 ~service:"big" (fun ~query:_ -> [ String.make 5000 'x' ]) in
-  Rpc.call net ~src:0 ~dst:1 ~service:"big" ~query:"q" ~on_reply:(fun _ -> ());
+  Rpc.call (Rpc.client net ~src:0) ~dst:1 ~service:"big" ~query:"q" ~on_reply:(fun _ -> ());
   Net.run net;
   check Alcotest.int "requests" 1 stats.Rpc.requests;
   Alcotest.(check bool) "response bytes include data" true (stats.Rpc.response_bytes > 5000);
@@ -51,7 +53,7 @@ let test_rpc_lost_on_down_server () =
   ignore (Rpc.serve net ~site:1 ~service:"s" (fun ~query:_ -> []));
   Net.crash net 1;
   let got = ref false in
-  Rpc.call net ~src:0 ~dst:1 ~service:"s" ~query:"" ~on_reply:(fun _ -> got := true);
+  Rpc.call (Rpc.client net ~src:0) ~dst:1 ~service:"s" ~query:"" ~on_reply:(fun _ -> got := true);
   Net.run net;
   Alcotest.(check bool) "no reply from crashed server" false !got
 

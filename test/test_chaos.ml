@@ -204,6 +204,20 @@ let test_verdict_json () =
   Alcotest.(check bool) "has seed" true (contains j "\"seed\":3");
   Alcotest.(check bool) "has violations array" true (contains j "\"violations\":[")
 
+let test_sweep_byte_identical_across_jobs () =
+  (* the multicore determinism contract: fanning seeds out over worker
+     domains must not change a single byte of the verdict stream (which
+     embeds the netstats counters: msgs sent/dropped, bytes) *)
+  let seeds = [ 0; 1; 2; 3 ] in
+  let render jobs =
+    H.run_sweep ~jobs ~seeds ()
+    |> List.map H.verdict_json
+    |> String.concat "\n"
+  in
+  let serial = render 1 in
+  check Alcotest.string "jobs=4 matches jobs=1" serial (render 4);
+  check Alcotest.string "jobs=0 (all cores) matches jobs=1" serial (render 0)
+
 let () =
   Alcotest.run "chaos"
     [
@@ -228,5 +242,7 @@ let () =
           Alcotest.test_case "50 seeds" `Slow test_harness_many_seeds;
           Alcotest.test_case "unguarded baseline" `Quick test_harness_unguarded;
           Alcotest.test_case "verdict json" `Quick test_verdict_json;
+          Alcotest.test_case "byte-identical across jobs" `Quick
+            test_sweep_byte_identical_across_jobs;
         ] );
     ]

@@ -84,6 +84,51 @@ let test_engine_negative_delay_clamped () =
   Alcotest.(check bool) "fired at now" true !fired;
   check (Alcotest.float 1e-9) "clock unchanged" 0.0 (Engine.now e)
 
+let test_engine_run_until_skips_cancelled_head () =
+  (* regression: a cancelled entry at the head of the queue used to slip
+     past the [until] check and fire the next real event early *)
+  let e = Engine.create () in
+  let fired = ref [] in
+  let early = Engine.schedule e ~after:1.0 (fun () -> fired := 1 :: !fired) in
+  ignore (Engine.schedule e ~after:5.0 (fun () -> fired := 5 :: !fired));
+  Engine.cancel early;
+  Engine.run ~until:2.0 e;
+  check Alcotest.(list int) "late event not fired early" [] !fired;
+  check (Alcotest.float 1e-9) "clock stops at until" 2.0 (Engine.now e);
+  Engine.run e;
+  check Alcotest.(list int) "late event still fires" [ 5 ] !fired;
+  check (Alcotest.float 1e-9) "clock at late event" 5.0 (Engine.now e)
+
+let test_engine_compaction () =
+  let metrics = Obs.Metrics.create () in
+  let e = Engine.create ~metrics () in
+  let log = ref [] in
+  let timers =
+    List.init 128 (fun i ->
+        Engine.schedule e ~after:(float_of_int (i + 1)) (fun () ->
+            log := i :: !log))
+  in
+  (* cancel the first 100: dead entries now outnumber live ones, which must
+     trigger at least one heap rebuild *)
+  List.iteri (fun i tm -> if i < 100 then Engine.cancel tm) timers;
+  Alcotest.(check bool) "compacted" true (Engine.compactions e >= 1);
+  check Alcotest.int "metrics counter mirrors accessor" (Engine.compactions e)
+    (Obs.Metrics.counter metrics "engine.compactions");
+  check Alcotest.int "live entries preserved" 28 (Engine.pending e);
+  Engine.run e;
+  check Alcotest.(list int) "survivors fire in time order"
+    (List.init 28 (fun i -> i + 100))
+    (List.rev !log)
+
+let test_engine_no_compaction_below_floor () =
+  (* small queues never compact: the size floor keeps the rebuild from
+     thrashing on ordinary timer churn *)
+  let e = Engine.create () in
+  let timers = List.init 10 (fun i -> Engine.schedule e ~after:(float_of_int i) ignore) in
+  List.iter Engine.cancel timers;
+  check Alcotest.int "no rebuild below floor" 0 (Engine.compactions e);
+  check Alcotest.int "nothing pending" 0 (Engine.pending e)
+
 (* --- topology generators --- *)
 
 let degree topo s = List.length (Topology.neighbors topo s)
@@ -426,6 +471,31 @@ let test_route_cache_invalidated_by_restart () =
   Net.restart net 1;
   check Alcotest.(option (list int)) "short path restored" (Some [ 1; 3 ]) (Net.route net 0 3)
 
+let test_route_cache_cleared_on_churn () =
+  (* every generation bump must empty the cache eagerly, so a chaos run that
+     churns links holds at most one generation of routes at a time instead
+     of accreting stale rows forever *)
+  let net = mk_net (Topology.ring 6) in
+  let warm () =
+    List.iter (fun dst -> ignore (Net.route net 0 dst)) [ 1; 2; 3; 4; 5 ];
+    Alcotest.(check bool) "cache warmed" true (Net.route_cache_size net > 0)
+  in
+  warm ();
+  Net.crash net 3;
+  check Alcotest.int "crash clears cache" 0 (Net.route_cache_size net);
+  warm ();
+  Net.restart net 3;
+  check Alcotest.int "restart clears cache" 0 (Net.route_cache_size net);
+  warm ();
+  Net.set_link_enabled net 0 1 false;
+  check Alcotest.int "link cut clears cache" 0 (Net.route_cache_size net);
+  warm ();
+  Net.set_link_enabled net 0 1 false;
+  Alcotest.(check bool) "no-op toggle keeps cache" true (Net.route_cache_size net > 0);
+  Net.set_link_degraded net 1 2 (Some (2.0, 0.5));
+  check Alcotest.int "degradation clears cache" 0 (Net.route_cache_size net);
+  warm ()
+
 (* --- chaos hooks: partition reasons, per-link loss, degradation --- *)
 
 let drop_count net reason =
@@ -582,6 +652,11 @@ let () =
           Alcotest.test_case "run until" `Quick test_engine_run_until;
           Alcotest.test_case "nested schedule" `Quick test_engine_nested_schedule;
           Alcotest.test_case "negative delay" `Quick test_engine_negative_delay_clamped;
+          Alcotest.test_case "run until skips cancelled head" `Quick
+            test_engine_run_until_skips_cancelled_head;
+          Alcotest.test_case "compaction sheds dead entries" `Quick test_engine_compaction;
+          Alcotest.test_case "no compaction below floor" `Quick
+            test_engine_no_compaction_below_floor;
         ] );
       ( "topology",
         [
@@ -618,6 +693,8 @@ let () =
           Alcotest.test_case "partition blocks and heals" `Quick test_partition_blocks_and_heals;
           Alcotest.test_case "route cache invalidation" `Quick
             test_route_cache_invalidated_by_restart;
+          Alcotest.test_case "route cache cleared on churn" `Quick
+            test_route_cache_cleared_on_churn;
           Alcotest.test_case "partition drop reason" `Quick test_partition_drop_reason;
           Alcotest.test_case "cut invalidates cached routes" `Quick
             test_partition_invalidates_route_cache;

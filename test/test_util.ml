@@ -306,6 +306,91 @@ let test_stats_acc_matches_batch =
       Float.abs (Stats.acc_mean acc -. Stats.mean xs) < 1e-6
       && Float.abs (Stats.acc_stddev acc -. Stats.stddev xs) < 1e-6)
 
+(* --- pool --- *)
+
+module Pool = Tacoma_util.Pool
+
+let test_pool_serial_inline () =
+  (* jobs = 1 is the serial path: submit runs the thunk immediately, in
+     submission order, on the calling domain. *)
+  let order = ref [] in
+  Pool.with_pool ~jobs:1 (fun p ->
+      let fa = Pool.submit p (fun () -> order := "a" :: !order; 1) in
+      let fb = Pool.submit p (fun () -> order := "b" :: !order; 2) in
+      check Alcotest.(list string) "ran inline at submit" [ "a"; "b" ]
+        (List.rev !order);
+      check Alcotest.int "first result" 1 (Pool.await fa);
+      check Alcotest.int "second result" 2 (Pool.await fb))
+
+let test_pool_map_matches_list_map () =
+  let xs = List.init 40 Fun.id in
+  let f x = (x * x) + 3 in
+  List.iter
+    (fun jobs ->
+      let got = Pool.with_pool ~jobs (fun p -> Pool.map p f xs) in
+      check Alcotest.(list int)
+        (Printf.sprintf "jobs=%d matches List.map" jobs)
+        (List.map f xs) got)
+    [ 1; 2; 4; 0 ]
+
+let test_pool_order_beats_completion_order () =
+  (* Force the first-submitted task to finish last: it spins until the
+     second task (on the other worker) has run.  map must still return
+     results in submission order. *)
+  let second_done = Atomic.make false in
+  let results =
+    Pool.with_pool ~jobs:2 (fun p ->
+        Pool.map p
+          (fun i ->
+            if i = 0 then (
+              while not (Atomic.get second_done) do
+                Domain.cpu_relax ()
+              done;
+              "slow")
+            else (
+              Atomic.set second_done true;
+              "fast"))
+          [ 0; 1 ])
+  in
+  check Alcotest.(list string) "submission order, not completion order"
+    [ "slow"; "fast" ] results
+
+exception Boom of int
+
+let test_pool_exception_propagates () =
+  Pool.with_pool ~jobs:2 (fun p ->
+      let ok = Pool.submit p (fun () -> 41) in
+      let bad = Pool.submit p (fun () -> raise (Boom 7)) in
+      check Alcotest.int "healthy task unaffected" 41 (Pool.await ok);
+      (match Pool.await bad with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom 7 -> ());
+      (* a failed await leaves the pool usable, and re-awaiting re-raises *)
+      (match Pool.await bad with
+      | _ -> Alcotest.fail "expected Boom again"
+      | exception Boom 7 -> ());
+      check Alcotest.int "pool still serves tasks" 9
+        (Pool.await (Pool.submit p (fun () -> 9))))
+
+let test_pool_reuse_across_submissions () =
+  Pool.with_pool ~jobs:3 (fun p ->
+      let a = Pool.map p (fun x -> x + 1) [ 1; 2; 3 ] in
+      let b = Pool.map p string_of_int a in
+      check Alcotest.(list string) "second batch on same pool"
+        [ "2"; "3"; "4" ] b)
+
+let test_pool_create_validation () =
+  (match Pool.create ~jobs:(-1) () with
+  | _ -> Alcotest.fail "negative jobs should be rejected"
+  | exception Invalid_argument _ -> ());
+  let p = Pool.create ~jobs:0 () in
+  Alcotest.(check bool) "jobs=0 resolves to >= 1" true (Pool.jobs p >= 1);
+  Pool.shutdown p;
+  Pool.shutdown p;
+  match Pool.submit p (fun () -> ()) with
+  | _ -> Alcotest.fail "submit after shutdown should be rejected"
+  | exception Invalid_argument _ -> ()
+
 let () =
   Alcotest.run "util"
     [
@@ -355,5 +440,15 @@ let () =
         [
           Alcotest.test_case "basic" `Quick test_stats_basic;
           test_stats_acc_matches_batch;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "serial inline" `Quick test_pool_serial_inline;
+          Alcotest.test_case "map matches List.map" `Quick test_pool_map_matches_list_map;
+          Alcotest.test_case "submission order wins" `Quick
+            test_pool_order_beats_completion_order;
+          Alcotest.test_case "exception propagation" `Quick test_pool_exception_propagates;
+          Alcotest.test_case "pool reuse" `Quick test_pool_reuse_across_submissions;
+          Alcotest.test_case "create validation" `Quick test_pool_create_validation;
         ] );
     ]
